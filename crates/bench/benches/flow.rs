@@ -1,0 +1,61 @@
+//! Flow bench (Table 3 cost model): one iteration of the GCN-guided
+//! OP-insertion flow, dominated by impact evaluation, plus the baseline
+//! testability-analysis round it replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gcnt_core::features::FeatureNormalizer;
+use gcnt_dft::baseline::{testability_opi, BaselineConfig};
+use gcnt_dft::flow::{run_gcn_opi, FlowConfig};
+use gcnt_dft::labeler::LabelConfig;
+use gcnt_netlist::{generate, GeneratorConfig};
+use gcnt_tensor::Matrix;
+
+fn bench_flow(c: &mut Criterion) {
+    let net = generate(&GeneratorConfig::sized("flow", 13, 2_000));
+    let raw = gcnt_core::features::raw_features_of(&net).expect("acyclic");
+    let normalizer = FeatureNormalizer::fit(&[&raw]);
+
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+    group.bench_function("gcn_opi_one_iteration", |b| {
+        b.iter_batched(
+            || net.clone(),
+            |mut net2| {
+                // Oracle classifier: flags high normalised observability.
+                let oracle = |_t: &gcnt_core::GraphTensors, f: &Matrix| {
+                    Ok((0..f.rows())
+                        .map(|r| if f.get(r, 3) > 2.0 { 0.9 } else { 0.1 })
+                        .collect())
+                };
+                let cfg = FlowConfig {
+                    max_iterations: 1,
+                    ..FlowConfig::default()
+                };
+                run_gcn_opi(&mut net2, &normalizer, oracle, &cfg).expect("flow runs")
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("baseline_one_round", |b| {
+        b.iter_batched(
+            || net.clone(),
+            |mut net2| {
+                let cfg = BaselineConfig {
+                    label: LabelConfig {
+                        patterns: 1_024,
+                        ..LabelConfig::default()
+                    },
+                    max_iterations: 1,
+                    ..Default::default()
+                };
+                testability_opi(&mut net2, &cfg).expect("baseline runs")
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for Fig. 10: matrix-form inference vs recursion-based
+//! inference at several graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gcnt_core::{recursive, Gcn, GcnConfig, GraphData};
+use gcnt_netlist::{generate, GeneratorConfig};
+use gcnt_nn::seeded_rng;
+
+fn bench_inference(c: &mut Criterion) {
+    let gcn = Gcn::new(&GcnConfig::default(), &mut seeded_rng(1));
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    for &size in &[1_000usize, 10_000] {
+        let net = generate(&GeneratorConfig::sized("bench", 3, size));
+        let data = GraphData::from_netlist(&net, None).expect("acyclic");
+        let n = data.node_count();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("matrix_form", n), &data, |b, data| {
+            b.iter(|| {
+                gcn.predict(&data.tensors, &data.features)
+                    .expect("shapes agree")
+            })
+        });
+        // Recursion over a fixed sample so the bench stays tractable; the
+        // per-node throughput is the comparable quantity.
+        let sample: Vec<usize> = (0..n).step_by((n / 100).max(1)).collect();
+        group.throughput(Throughput::Elements(sample.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("recursion_per_100_nodes", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    recursive::predict_nodes_unmemoized(
+                        &gcn,
+                        &data.tensors,
+                        &data.features,
+                        &sample,
+                    )
+                    .expect("shapes agree")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

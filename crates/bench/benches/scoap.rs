@@ -1,0 +1,54 @@
+//! Substrate bench: full SCOAP computation vs the incremental
+//! observability refresh after one observation-point insertion (§4 claims
+//! the incremental update is what keeps the iterative flow cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gcnt_netlist::{generate, GeneratorConfig, Scoap};
+
+fn bench_scoap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoap");
+    group.sample_size(20);
+    for &size in &[5_000usize, 50_000] {
+        let net = generate(&GeneratorConfig::sized("scoap", 5, size));
+        group.bench_with_input(BenchmarkId::new("full_compute", size), &(), |b, ()| {
+            b.iter(|| Scoap::compute(&net).expect("acyclic"))
+        });
+
+        // Incremental: insert an OP at a deep node and refresh.
+        let scoap = Scoap::compute(&net).expect("acyclic");
+        let target = net
+            .nodes()
+            .max_by_key(|&v| {
+                if net.kind(v).is_pseudo_output() {
+                    0
+                } else {
+                    scoap.co(v)
+                }
+            })
+            .expect("non-empty netlist");
+        group.bench_with_input(
+            BenchmarkId::new("incremental_observe", size),
+            &(),
+            |b, ()| {
+                b.iter_batched(
+                    || (net.clone(), scoap.clone()),
+                    |(mut net2, mut scoap2)| {
+                        let op = net2
+                            .insert_observation_point(target)
+                            .expect("target is not an output");
+                        scoap2.observe(&net2, target, op)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("preview_observe", size), &(), |b, ()| {
+            b.iter(|| scoap.preview_observe(&net, target))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoap);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Sparse-kernel ablation (§3.4.1): CSR spmm (the production kernel behind
+//! matrix-form inference) vs the naive per-element reference traversal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gcnt_core::GraphTensors;
+use gcnt_netlist::{generate, GeneratorConfig};
+use gcnt_tensor::Matrix;
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    group.sample_size(20);
+    for &size in &[5_000usize, 50_000] {
+        let net = generate(&GeneratorConfig::sized("spmm", 9, size));
+        let t = GraphTensors::from_netlist(&net);
+        let n = t.node_count();
+        let x = Matrix::from_fn(n, 64, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.1);
+        group.throughput(Throughput::Elements(t.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::new("csr", n), &(), |b, ()| {
+            b.iter(|| t.pred().spmm(&x).expect("shapes agree"))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &(), |b, ()| {
+            b.iter(|| t.pred().spmm_reference(&x).expect("shapes agree"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

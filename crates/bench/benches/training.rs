@@ -1,0 +1,64 @@
+//! Criterion bench for §3.4.2: per-epoch training cost, serial multi-graph
+//! loop vs the crossbeam data-parallel scheme (one worker per graph).
+//!
+//! On a single-core host the two are expected to tie (the parallel scheme
+//! is a scheduling change, not an algorithmic one — the test suite asserts
+//! they produce bit-identical models); on a multi-core host the parallel
+//! variant approaches a `#graphs`-fold speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gcnt_core::parallel::train_parallel;
+use gcnt_core::train::{train, TrainConfig};
+use gcnt_core::{Gcn, GcnConfig, GraphData};
+use gcnt_netlist::{generate, GeneratorConfig, Scoap};
+use gcnt_nn::seeded_rng;
+
+fn labeled(seed: u64, nodes: usize) -> GraphData {
+    let net = generate(&GeneratorConfig::sized("t", seed, nodes));
+    let scoap = Scoap::compute(&net).expect("acyclic");
+    let mut cos: Vec<u32> = net.nodes().map(|v| scoap.co(v)).collect();
+    cos.sort_unstable();
+    let thresh = cos[cos.len() * 95 / 100].max(1);
+    let labels = net
+        .nodes()
+        .map(|v| u8::from(scoap.co(v) >= thresh))
+        .collect();
+    GraphData::from_netlist(&net, None)
+        .expect("acyclic")
+        .with_labels(labels)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let graphs: Vec<GraphData> = (0..3).map(|i| labeled(100 + i, 2_000)).collect();
+    let refs: Vec<&GraphData> = graphs.iter().collect();
+    let masks: Vec<Vec<usize>> = graphs
+        .iter()
+        .map(|g| (0..g.node_count()).step_by(4).collect())
+        .collect();
+    let cfg = TrainConfig {
+        epochs: 1,
+        lr: 0.05,
+        pos_weight: 4.0,
+        momentum: 0.0,
+    };
+
+    let mut group = c.benchmark_group("training_epoch");
+    group.sample_size(10);
+    group.bench_function("serial_3_graphs", |b| {
+        b.iter(|| {
+            let mut gcn = Gcn::new(&GcnConfig::with_depth(2), &mut seeded_rng(7));
+            train(&mut gcn, &refs, &masks, &cfg).expect("shapes agree")
+        })
+    });
+    group.bench_function("parallel_3_graphs", |b| {
+        b.iter(|| {
+            let mut gcn = Gcn::new(&GcnConfig::with_depth(2), &mut seeded_rng(7));
+            train_parallel(&mut gcn, &refs, &masks, &cfg).expect("shapes agree")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation of the aggregation function (Eq. (1)): does the GCN need
+//! predecessor information, successor information, or both?
+//!
+//! The paper aggregates over both directions with separate learned
+//! weights `w_pr` / `w_su`. Observability flows *backwards* (a node is
+//! hard to observe because of its fan-out), controllability *forwards*,
+//! so intuition says both directions matter; this harness measures it.
+//!
+//! ```text
+//! cargo run --release -p gcnt-bench --bin ablation -- --nodes 3000 --epochs 150
+//! ```
+
+use serde::Serialize;
+
+use gcnt_bench::{prepare_designs, refit_normalizer, write_json, Args};
+use gcnt_core::train::{evaluate, train, TrainConfig};
+use gcnt_core::{balanced_indices, Gcn, GcnConfig, GraphData, GraphTensors};
+use gcnt_dft::labeler::LabelConfig;
+use gcnt_nn::seeded_rng;
+
+#[derive(Serialize)]
+struct AblationRow {
+    variant: String,
+    test_accuracy: f64,
+    w_pr: f32,
+    w_su: f32,
+}
+
+fn main() {
+    let args = Args::parse();
+    let nodes = args.get_usize("nodes", 3_000);
+    let epochs = args.get_usize("epochs", 150);
+
+    println!("Ablation: aggregation directions (Eq. 1) at ~{nodes} nodes, {epochs} epochs\n");
+    let mut designs = prepare_designs(nodes, &LabelConfig::default());
+    refit_normalizer(&mut designs, &[1, 2, 3]);
+    let mut rng = seeded_rng(0xAB1A);
+    let train_masks: Vec<Vec<usize>> = [1usize, 2, 3]
+        .iter()
+        .map(|&i| balanced_indices(&designs[i].data.labels, &mut rng))
+        .collect();
+    let test_mask = balanced_indices(&designs[0].data.labels, &mut rng);
+
+    let mut rows = Vec::new();
+    for (name, use_pred, use_succ) in [
+        ("both", true, true),
+        ("predecessors-only", true, false),
+        ("successors-only", false, true),
+        ("self-only", false, false),
+    ] {
+        // Rebuild each design's tensors with the chosen directions.
+        let variant: Vec<GraphData> = designs
+            .iter()
+            .map(|d| {
+                let mut data = d.data.clone();
+                data.tensors = GraphTensors::with_directions(&d.netlist, use_pred, use_succ);
+                data
+            })
+            .collect();
+        let train_refs: Vec<&GraphData> = [1usize, 2, 3].iter().map(|&i| &variant[i]).collect();
+        let mut gcn = Gcn::new(&GcnConfig::with_depth(3), &mut seeded_rng(7));
+        train(
+            &mut gcn,
+            &train_refs,
+            &train_masks,
+            &TrainConfig {
+                epochs,
+                lr: 0.05,
+                momentum: 0.0,
+                pos_weight: 1.0,
+            },
+        )
+        .expect("shapes agree");
+        let acc = evaluate(&gcn, &variant[0], &test_mask)
+            .expect("shapes agree")
+            .accuracy();
+        println!(
+            "{name:<18} test accuracy {acc:.3}  (w_pr {:.3}, w_su {:.3})",
+            gcn.w_pr(),
+            gcn.w_su()
+        );
+        rows.push(AblationRow {
+            variant: name.to_string(),
+            test_accuracy: acc,
+            w_pr: gcn.w_pr(),
+            w_su: gcn.w_su(),
+        });
+    }
+    println!("\nexpectation: both >= either single direction >= self-only");
+    write_json("ablation", &rows);
+}

@@ -1,0 +1,102 @@
+//! Figure 8 — training and testing accuracy over epochs for search depth
+//! D = 1, 2, 3.
+//!
+//! Protocol (§5): balanced datasets, three designs for training and the
+//! fourth for testing, `K_1..K_3 = 32, 64, 128`, FC head `64, 64, 128, 2`,
+//! 300 epochs. The paper's curves show accuracy improving with depth.
+//!
+//! ```text
+//! cargo run --release -p gcnt-bench --bin fig8 -- --nodes 3000 --epochs 150
+//! ```
+
+use serde::Serialize;
+
+use gcnt_bench::{prepare_designs, refit_normalizer, write_json, Args};
+use gcnt_core::train::{evaluate, train, TrainConfig};
+use gcnt_core::{balanced_indices, Gcn, GcnConfig, GraphData};
+use gcnt_dft::labeler::LabelConfig;
+use gcnt_nn::seeded_rng;
+
+#[derive(Serialize)]
+struct Curve {
+    depth: usize,
+    epochs: Vec<usize>,
+    train_accuracy: Vec<f64>,
+    test_accuracy: Vec<f64>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let nodes = args.get_usize("nodes", 3_000);
+    let epochs = args.get_usize("epochs", 150);
+    let eval_every = args.get_usize("eval-every", 10).max(1);
+    let lr = args.get_f64("lr", 0.05) as f32;
+
+    println!(
+        "Figure 8: accuracy vs epochs for D = 1, 2, 3 (~{nodes}-node designs, {epochs} epochs)\n"
+    );
+    let mut designs = prepare_designs(nodes, &LabelConfig::default());
+    // Rotation: train on B2..B4, test on B1 (one representative rotation,
+    // matching the figure's single panel).
+    refit_normalizer(&mut designs, &[1, 2, 3]);
+    let mut rng = seeded_rng(0xF168);
+    let train_masks: Vec<Vec<usize>> = [1usize, 2, 3]
+        .iter()
+        .map(|&i| balanced_indices(&designs[i].data.labels, &mut rng))
+        .collect();
+    let test_mask = balanced_indices(&designs[0].data.labels, &mut rng);
+    let train_refs: Vec<&GraphData> = [1usize, 2, 3].iter().map(|&i| &designs[i].data).collect();
+
+    let mut curves = Vec::new();
+    for depth in 1..=3 {
+        let mut gcn = Gcn::new(&GcnConfig::with_depth(depth), &mut seeded_rng(depth as u64));
+        let mut curve = Curve {
+            depth,
+            epochs: Vec::new(),
+            train_accuracy: Vec::new(),
+            test_accuracy: Vec::new(),
+        };
+        let chunk_cfg = TrainConfig {
+            epochs: eval_every,
+            lr,
+            pos_weight: 1.0,
+            momentum: 0.0,
+        };
+        let mut done = 0;
+        while done < epochs {
+            let history =
+                train(&mut gcn, &train_refs, &train_masks, &chunk_cfg).expect("shapes agree");
+            done += history.len();
+            let train_acc = history.last().expect("non-empty").train_accuracy;
+            let test_acc = evaluate(&gcn, &designs[0].data, &test_mask)
+                .expect("shapes agree")
+                .accuracy();
+            curve.epochs.push(done);
+            curve.train_accuracy.push(train_acc);
+            curve.test_accuracy.push(test_acc);
+        }
+        let final_train = *curve.train_accuracy.last().expect("non-empty");
+        let final_test = *curve.test_accuracy.last().expect("non-empty");
+        println!(
+            "D={depth}: final train accuracy {:.3}, final test accuracy {:.3}",
+            final_train, final_test
+        );
+        print!("  test curve: ");
+        for (e, a) in curve.epochs.iter().zip(&curve.test_accuracy) {
+            print!("{e}:{a:.3} ");
+        }
+        println!();
+        curves.push(curve);
+    }
+
+    // The paper's qualitative result: performance improves with depth.
+    let finals: Vec<f64> = curves
+        .iter()
+        .map(|c| *c.test_accuracy.last().expect("non-empty"))
+        .collect();
+    println!(
+        "\nfinal test accuracy by depth: D1 {:.3}, D2 {:.3}, D3 {:.3} (paper: monotone increase)",
+        finals[0], finals[1], finals[2]
+    );
+    write_json("fig8", &curves);
+}

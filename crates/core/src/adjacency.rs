@@ -1,0 +1,291 @@
+use serde::{Deserialize, Serialize};
+
+use gcnt_netlist::{Netlist, NodeId};
+use gcnt_tensor::{CooMatrix, CsrMatrix, Matrix, Result};
+
+/// Sparse-tensor view of a netlist graph, ready for matrix-form GCN
+/// inference and training.
+///
+/// The paper's aggregation (Eq. (1)) is
+///
+/// ```text
+/// g_v = e_v + w_pr * sum_{u in PR(v)} e_u + w_su * sum_{u in SU(v)} e_u
+/// ```
+///
+/// which in matrix form is `G = (I + w_pr * P + w_su * S) · E`, where
+/// `P[v][u] = 1` iff `u` drives `v` and `S[v][u] = 1` iff `v` drives `u`.
+/// Because `w_pr` / `w_su` are *learned*, `P` and `S` are kept as separate
+/// unweighted matrices; the scalars are applied per multiplication.
+///
+/// The COO originals are retained so that observation-point insertion can
+/// extend the graph incrementally — exactly the three-tuple append of §4 —
+/// followed by a cheap CSR rebuild.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphTensors {
+    n: usize,
+    pred_coo: CooMatrix,
+    succ_coo: CooMatrix,
+    pred: CsrMatrix,
+    succ: CsrMatrix,
+    pred_t: CsrMatrix,
+    succ_t: CsrMatrix,
+    /// Adjacency lists for the recursion-based baseline inference.
+    pred_lists: Vec<Vec<u32>>,
+    succ_lists: Vec<Vec<u32>>,
+}
+
+impl GraphTensors {
+    /// Builds the tensors from a netlist.
+    pub fn from_netlist(net: &Netlist) -> Self {
+        GraphTensors::with_directions(net, true, true)
+    }
+
+    /// Builds the tensors with one aggregation direction optionally
+    /// disabled (its matrix left empty) — the ablation of Eq. (1): does the
+    /// model need predecessors, successors, or both?
+    pub fn with_directions(net: &Netlist, use_pred: bool, use_succ: bool) -> Self {
+        let n = net.node_count();
+        let mut pred_coo = CooMatrix::with_capacity(n, n, net.edge_count());
+        let mut succ_coo = CooMatrix::with_capacity(n, n, net.edge_count());
+        let mut pred_lists = vec![Vec::new(); n];
+        let mut succ_lists = vec![Vec::new(); n];
+        for v in net.nodes() {
+            if use_pred {
+                for &u in net.fanin(v) {
+                    pred_coo.push(v.index(), u.index(), 1.0);
+                    pred_lists[v.index()].push(u.index() as u32);
+                }
+            }
+            if use_succ {
+                for &u in net.fanout(v) {
+                    succ_coo.push(v.index(), u.index(), 1.0);
+                    succ_lists[v.index()].push(u.index() as u32);
+                }
+            }
+        }
+        let pred = pred_coo.to_csr();
+        let succ = succ_coo.to_csr();
+        let pred_t = pred.transpose();
+        let succ_t = succ.transpose();
+        GraphTensors {
+            n,
+            pred_coo,
+            succ_coo,
+            pred,
+            succ,
+            pred_t,
+            succ_t,
+            pred_lists,
+            succ_lists,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.pred.nnz()
+    }
+
+    /// Sparsity of the combined adjacency (the `> 99.95%` the paper
+    /// reports).
+    pub fn sparsity(&self) -> f64 {
+        self.pred_coo.sparsity()
+    }
+
+    /// The predecessor matrix `P` in CSR form.
+    pub fn pred(&self) -> &CsrMatrix {
+        &self.pred
+    }
+
+    /// The successor matrix `S` in CSR form.
+    pub fn succ(&self) -> &CsrMatrix {
+        &self.succ
+    }
+
+    /// Predecessor adjacency lists (`pred_lists[v]` = drivers of `v`).
+    pub fn pred_lists(&self) -> &[Vec<u32>] {
+        &self.pred_lists
+    }
+
+    /// Successor adjacency lists (`succ_lists[v]` = sinks of `v`).
+    pub fn succ_lists(&self) -> &[Vec<u32>] {
+        &self.succ_lists
+    }
+
+    /// Computes one aggregation step `G = E + w_pr * P·E + w_su * S·E`.
+    ///
+    /// Also returns the intermediate products `P·E` and `S·E`, which the
+    /// backward pass needs for the `w_pr` / `w_su` gradients
+    /// (C-INTERMEDIATE: callers that only want `G` can drop them).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error unless `e.rows()` equals the node count.
+    pub fn aggregate(&self, e: &Matrix, w_pr: f32, w_su: f32) -> Result<(Matrix, Matrix, Matrix)> {
+        let pe = self.pred.spmm(e)?;
+        let se = self.succ.spmm(e)?;
+        let mut g = e.clone();
+        g.axpy(w_pr, &pe)?;
+        g.axpy(w_su, &se)?;
+        Ok((g, pe, se))
+    }
+
+    /// Backward of [`GraphTensors::aggregate`] w.r.t. `E`:
+    /// `dE = dG + w_pr * Pᵀ·dG + w_su * Sᵀ·dG`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error unless `dg.rows()` equals the node count.
+    pub fn aggregate_backward(&self, dg: &Matrix, w_pr: f32, w_su: f32) -> Result<Matrix> {
+        let pt = self.pred_t.spmm(dg)?;
+        let st = self.succ_t.spmm(dg)?;
+        let mut de = dg.clone();
+        de.axpy(w_pr, &pt)?;
+        de.axpy(w_su, &st)?;
+        Ok(de)
+    }
+
+    /// Incrementally extends the tensors after an observation point `op`
+    /// has been inserted at `target` in the netlist.
+    ///
+    /// Appends the COO tuples for the new node and edge (the paper's
+    /// three-tuple update, §4: `(w_pr, p, v)`, `(w_su, v, p)` — the
+    /// identity diagonal is implicit here because aggregation adds `E`
+    /// directly) and rebuilds the CSR forms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not the next node index after the current node
+    /// count (i.e. the tensors are out of sync with the netlist).
+    pub fn insert_observation_point(&mut self, target: NodeId, op: NodeId) {
+        assert_eq!(
+            op.index(),
+            self.n,
+            "tensors out of sync with netlist: expected op index {}",
+            self.n
+        );
+        self.n += 1;
+        self.pred_coo.grow(self.n, self.n);
+        self.succ_coo.grow(self.n, self.n);
+        self.pred_coo.push(op.index(), target.index(), 1.0);
+        self.succ_coo.push(target.index(), op.index(), 1.0);
+        self.pred = self.pred_coo.to_csr();
+        self.succ = self.succ_coo.to_csr();
+        self.pred_t = self.pred.transpose();
+        self.succ_t = self.succ.transpose();
+        self.pred_lists.push(vec![target.index() as u32]);
+        self.succ_lists.push(Vec::new());
+        self.succ_lists[target.index()].push(op.index() as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnt_netlist::{CellKind, Netlist};
+
+    fn tiny_net() -> (Netlist, NodeId, NodeId, NodeId) {
+        let mut net = Netlist::new("t");
+        let a = net.add_cell(CellKind::Input);
+        let g = net.add_cell(CellKind::Not);
+        let o = net.add_cell(CellKind::Output);
+        net.connect(a, g).unwrap();
+        net.connect(g, o).unwrap();
+        (net, a, g, o)
+    }
+
+    #[test]
+    fn pred_succ_are_transposes_of_each_other() {
+        let (net, ..) = tiny_net();
+        let t = GraphTensors::from_netlist(&net);
+        assert_eq!(t.pred().to_dense(), t.succ().to_dense().transpose());
+    }
+
+    #[test]
+    fn adjacency_lists_match_netlist() {
+        let (net, a, g, o) = tiny_net();
+        let t = GraphTensors::from_netlist(&net);
+        assert_eq!(t.pred_lists()[g.index()], vec![a.index() as u32]);
+        assert_eq!(t.succ_lists()[g.index()], vec![o.index() as u32]);
+        assert!(t.pred_lists()[a.index()].is_empty());
+    }
+
+    #[test]
+    fn aggregate_matches_hand_computation() {
+        let (net, a, g, o) = tiny_net();
+        let t = GraphTensors::from_netlist(&net);
+        let e = Matrix::from_rows(&[&[1.0], &[10.0], &[100.0]]).unwrap();
+        let (gm, _, _) = t.aggregate(&e, 0.5, 0.25).unwrap();
+        // a: e_a + 0.25 * e_g (successor)
+        assert_eq!(gm.get(a.index(), 0), 1.0 + 0.25 * 10.0);
+        // g: e_g + 0.5 * e_a + 0.25 * e_o
+        assert_eq!(gm.get(g.index(), 0), 10.0 + 0.5 * 1.0 + 0.25 * 100.0);
+        // o: e_o + 0.5 * e_g
+        assert_eq!(gm.get(o.index(), 0), 100.0 + 0.5 * 10.0);
+    }
+
+    #[test]
+    fn aggregate_backward_is_adjoint() {
+        // <aggregate(E), D> == <E, aggregate_backward(D)> for random E, D.
+        let (net, ..) = tiny_net();
+        let t = GraphTensors::from_netlist(&net);
+        let e = Matrix::from_fn(3, 2, |r, c| (r as f32 + 1.0) * (c as f32 + 0.5));
+        let d = Matrix::from_fn(3, 2, |r, c| (r as f32 - 1.0) * (c as f32 + 1.5));
+        let (g, _, _) = t.aggregate(&e, 0.7, 0.3).unwrap();
+        let de = t.aggregate_backward(&d, 0.7, 0.3).unwrap();
+        let lhs = g.dot(&d).unwrap();
+        let rhs = e.dot(&de).unwrap();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn insert_observation_point_extends_graph() {
+        let (mut net, _, g, _) = tiny_net();
+        let mut t = GraphTensors::from_netlist(&net);
+        let op = net.insert_observation_point(g).unwrap();
+        t.insert_observation_point(g, op);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.pred_lists()[op.index()], vec![g.index() as u32]);
+        assert!(t.succ_lists()[g.index()].contains(&(op.index() as u32)));
+        // Incremental result equals a from-scratch rebuild.
+        let fresh = GraphTensors::from_netlist(&net);
+        assert_eq!(t, fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sync")]
+    fn out_of_sync_insert_panics() {
+        let (net, _, g, _) = tiny_net();
+        let mut t = GraphTensors::from_netlist(&net);
+        // Claim an op id that skips an index.
+        t.insert_observation_point(g, NodeId::from_index(10));
+    }
+
+    #[test]
+    fn directions_can_be_disabled() {
+        let (net, a, g, o) = tiny_net();
+        let pred_only = GraphTensors::with_directions(&net, true, false);
+        assert_eq!(pred_only.succ().nnz(), 0);
+        assert_eq!(pred_only.pred().nnz(), 2);
+        assert!(pred_only.succ_lists()[g.index()].is_empty());
+        let succ_only = GraphTensors::with_directions(&net, false, true);
+        assert_eq!(succ_only.pred().nnz(), 0);
+        assert!(succ_only.succ_lists()[a.index()].contains(&(g.index() as u32)));
+        // Aggregation with a disabled direction ignores that direction.
+        let e = Matrix::from_rows(&[&[1.0], &[10.0], &[100.0]]).unwrap();
+        let (gm, _, _) = pred_only.aggregate(&e, 1.0, 1.0).unwrap();
+        assert_eq!(gm.get(a.index(), 0), 1.0); // no successor term
+        assert_eq!(gm.get(o.index(), 0), 110.0); // predecessor g still counted
+    }
+
+    #[test]
+    fn sparsity_reported() {
+        let (net, ..) = tiny_net();
+        let t = GraphTensors::from_netlist(&net);
+        assert!((t.sparsity() - (1.0 - 2.0 / 9.0)).abs() < 1e-12);
+    }
+}

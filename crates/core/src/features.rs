@@ -1,0 +1,242 @@
+//! Node attribute construction: the `[LL, C0, C1, O]` vectors of §3.1.
+//!
+//! SCOAP values are heavy-tailed (and saturate at [`gcnt_netlist::SCOAP_INF`]
+//! for unobservable nets), so the raw attributes are squashed with
+//! `log2(1 + x)` before the per-column standardisation that training uses.
+//! The normaliser is computed on the training designs and *re-applied* to
+//! unseen designs, preserving the inductive property of the model (§2.1).
+
+use serde::{Deserialize, Serialize};
+
+use gcnt_netlist::{logic_levels, Netlist, Result as NetResult, Scoap};
+use gcnt_tensor::{ops, Matrix};
+
+/// Number of raw node attributes: `[LL, C0, C1, O]`.
+pub const RAW_DIM: usize = 4;
+
+/// Attribute row assigned to a freshly inserted observation point.
+///
+/// The paper sets the new node's attributes to `[0, 1, 1, 0]` (§4): level
+/// and observability 0, unit controllabilities.
+pub const OBSERVATION_POINT_ATTRS: [f32; RAW_DIM] = [0.0, 1.0, 1.0, 0.0];
+
+/// Builds the raw (unnormalised, but log-squashed) feature matrix of a
+/// netlist from precomputed logic levels and SCOAP measures.
+pub fn raw_features(levels: &[u32], scoap: &Scoap) -> Matrix {
+    let n = levels.len();
+    let mut m = Matrix::zeros(n, RAW_DIM);
+    for (i, &level) in levels.iter().enumerate() {
+        let row = m.row_mut(i);
+        row[0] = squash(level);
+        row[1] = squash(scoap.cc0_all()[i]);
+        row[2] = squash(scoap.cc1_all()[i]);
+        row[3] = squash(scoap.co_all()[i]);
+    }
+    m
+}
+
+/// Computes raw features directly from a netlist.
+///
+/// # Errors
+///
+/// Returns a netlist error if the design has a combinational cycle.
+pub fn raw_features_of(net: &Netlist) -> NetResult<Matrix> {
+    let levels = logic_levels(net)?;
+    let scoap = Scoap::compute(net)?;
+    Ok(raw_features(&levels, &scoap))
+}
+
+/// `log2(1 + x)` squashing of a SCOAP-scale integer.
+pub fn squash(x: u32) -> f32 {
+    (1.0 + x as f64).log2() as f32
+}
+
+/// Number of attributes in the COP-extended variant:
+/// `[LL, C0, C1, O, log-p1, log-obs]`.
+pub const EXTENDED_DIM: usize = 6;
+
+/// Builds the COP-extended feature matrix: the paper's four attributes
+/// plus log-scaled COP signal probability and COP observability
+/// (probability-based testability, see [`gcnt_netlist::Cop`]). An
+/// extension beyond the paper — pass `input_dim: EXTENDED_DIM` in
+/// [`crate::GcnConfig`] to train on it.
+///
+/// # Errors
+///
+/// Returns a netlist error if the design has a combinational cycle.
+pub fn extended_features_of(net: &Netlist) -> NetResult<Matrix> {
+    let base = raw_features_of(net)?;
+    let cop = gcnt_netlist::Cop::compute(net)?;
+    let n = base.rows();
+    let mut m = Matrix::zeros(n, EXTENDED_DIM);
+    for i in 0..n {
+        let row = m.row_mut(i);
+        row[..RAW_DIM].copy_from_slice(base.row(i));
+        // log2 of probabilities, floored to keep values finite.
+        row[4] = (cop.p1_all()[i].max(1e-12)).log2() as f32;
+        row[5] = (cop.observability_all()[i].max(1e-12)).log2() as f32;
+    }
+    Ok(m)
+}
+
+/// Per-column standardisation statistics, fitted on training data and
+/// applied to any design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureNormalizer {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl FeatureNormalizer {
+    /// Fits the normaliser on one or more raw feature matrices
+    /// (concatenating their statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mats` is empty or the matrices disagree on column count.
+    pub fn fit(mats: &[&Matrix]) -> Self {
+        assert!(!mats.is_empty(), "need at least one matrix to fit");
+        let cols = mats[0].cols();
+        let mut stacked = mats[0].clone();
+        for m in &mats[1..] {
+            assert_eq!(m.cols(), cols, "feature dimension mismatch");
+            stacked = stacked.vstack(m).expect("column counts match");
+        }
+        let means = ops::column_means(&stacked);
+        let stds = ops::column_stds(&stacked, &means);
+        FeatureNormalizer { means, stds }
+    }
+
+    /// Applies the normalisation to a raw feature matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted dimension.
+    pub fn apply(&self, raw: &Matrix) -> Matrix {
+        ops::apply_standardization(raw, &self.means, &self.stds)
+    }
+
+    /// Normalises the [`OBSERVATION_POINT_ATTRS`] row for appending to a
+    /// normalised feature matrix.
+    pub fn observation_point_row(&self) -> Vec<f32> {
+        let raw = Matrix::from_rows(&[&OBSERVATION_POINT_ATTRS]).expect("static row");
+        self.apply(&raw).row(0).to_vec()
+    }
+
+    /// The fitted per-column means.
+    pub fn means(&self) -> &[f32] {
+        &self.means
+    }
+
+    /// The fitted per-column standard deviations.
+    pub fn stds(&self) -> &[f32] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnt_netlist::{generate, CellKind, GeneratorConfig, SCOAP_INF};
+
+    #[test]
+    fn squash_is_monotone_and_finite() {
+        assert_eq!(squash(0), 0.0);
+        assert!(squash(1) > 0.0);
+        assert!(squash(100) > squash(10));
+        assert!(squash(SCOAP_INF).is_finite());
+    }
+
+    #[test]
+    fn raw_features_shape_and_values() {
+        let mut net = Netlist::new("t");
+        let a = net.add_cell(CellKind::Input);
+        let g = net.add_cell(CellKind::Not);
+        let o = net.add_cell(CellKind::Output);
+        net.connect(a, g).unwrap();
+        net.connect(g, o).unwrap();
+        let f = raw_features_of(&net).unwrap();
+        assert_eq!(f.shape(), (3, RAW_DIM));
+        // Input: LL=0 -> squash 0; CC0=CC1=1 -> squash(1)=1.
+        assert_eq!(f.get(a.index(), 0), 0.0);
+        assert_eq!(f.get(a.index(), 1), 1.0);
+        assert_eq!(f.get(a.index(), 2), 1.0);
+    }
+
+    #[test]
+    fn normalizer_fit_apply_round_trip() {
+        let net = generate(&GeneratorConfig::sized("n", 3, 800));
+        let raw = raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let x = norm.apply(&raw);
+        // Each column should be ~zero-mean, ~unit-std after normalisation.
+        let means = ops::column_means(&x);
+        for m in means {
+            assert!(m.abs() < 1e-3, "column mean {m}");
+        }
+    }
+
+    #[test]
+    fn normalizer_is_inductive() {
+        // Fit on one design, apply to another: must not panic and must use
+        // the *training* statistics.
+        let a = generate(&GeneratorConfig::sized("a", 1, 500));
+        let b = generate(&GeneratorConfig::sized("b", 2, 500));
+        let ra = raw_features_of(&a).unwrap();
+        let rb = raw_features_of(&b).unwrap();
+        let norm = FeatureNormalizer::fit(&[&ra]);
+        let xb = norm.apply(&rb);
+        assert_eq!(xb.shape(), rb.shape());
+    }
+
+    #[test]
+    fn observation_point_row_is_normalised() {
+        let net = generate(&GeneratorConfig::sized("o", 5, 500));
+        let raw = raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let row = norm.observation_point_row();
+        assert_eq!(row.len(), RAW_DIM);
+        assert!(row.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn extended_features_add_cop_columns() {
+        let net = generate(&GeneratorConfig::sized("ext", 4, 600));
+        let base = raw_features_of(&net).unwrap();
+        let ext = extended_features_of(&net).unwrap();
+        assert_eq!(ext.cols(), EXTENDED_DIM);
+        assert_eq!(ext.rows(), base.rows());
+        for r in (0..ext.rows()).step_by(37) {
+            assert_eq!(&ext.row(r)[..RAW_DIM], base.row(r));
+            assert!(ext.row(r)[4] <= 0.0 + 1e-6); // log2 of a probability
+            assert!(ext.row(r)[4].is_finite());
+            assert!(ext.row(r)[5].is_finite());
+        }
+        // A GCN trains on the extended dimension without further changes.
+        let norm = FeatureNormalizer::fit(&[&ext]);
+        let x = norm.apply(&ext);
+        let t = crate::GraphTensors::from_netlist(&net);
+        let gcn = crate::Gcn::new(
+            &crate::GcnConfig {
+                input_dim: EXTENDED_DIM,
+                embed_dims: vec![8],
+                fc_dims: vec![8],
+                ..crate::GcnConfig::default()
+            },
+            &mut gcnt_nn::seeded_rng(0),
+        );
+        let logits = gcn.predict(&t, &x).unwrap();
+        assert_eq!(logits.rows(), net.node_count());
+    }
+
+    #[test]
+    fn fit_multiple_designs() {
+        let a = generate(&GeneratorConfig::sized("a", 1, 400));
+        let b = generate(&GeneratorConfig::sized("b", 2, 400));
+        let ra = raw_features_of(&a).unwrap();
+        let rb = raw_features_of(&b).unwrap();
+        let joint = FeatureNormalizer::fit(&[&ra, &rb]);
+        let solo = FeatureNormalizer::fit(&[&ra]);
+        assert_ne!(joint.means(), solo.means());
+    }
+}

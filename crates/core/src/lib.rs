@@ -1,0 +1,47 @@
+//! High-performance graph convolutional network for netlist testability
+//! analysis — the core contribution of the DAC'19 paper.
+//!
+//! The model classifies every cell of a netlist as *difficult-to-observe*
+//! (positive) or *easy-to-observe* (negative):
+//!
+//! 1. Node attributes `[LL, C0, C1, O]` are assembled by [`features`].
+//! 2. [`Gcn`] computes node embeddings with `D` rounds of *aggregate*
+//!    (weighted sum over predecessors and successors with learned scalars
+//!    `w_pr` / `w_su`, Eq. (1)) and *encode* (`E_d = ReLU(G_d W_d)`), then
+//!    classifies with a 4-layer FC head (Fig. 1 / Alg. 1).
+//! 3. Inference is formulated as sparse matrix products over the COO/CSR
+//!    adjacency ([`GraphTensors`]), which is what makes the model scale to
+//!    millions of cells (§3.4.1, Fig. 10). The recursion-based baseline it
+//!    is compared against lives in [`recursive`].
+//! 4. [`MultiStageGcn`] implements the imbalance-handling cascade of §3.3.
+//! 5. [`train`] and [`parallel`] implement single-worker and multi-worker
+//!    data-parallel training (§3.4.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use gcnt_core::{Gcn, GcnConfig, GraphData};
+//! use gcnt_netlist::{generate, GeneratorConfig};
+//!
+//! let net = generate(&GeneratorConfig::sized("demo", 1, 600));
+//! let data = GraphData::from_netlist(&net, None)?;
+//! let gcn = Gcn::new(&GcnConfig::default(), &mut gcnt_nn::seeded_rng(0));
+//! let logits = gcn.predict(&data.tensors, &data.features)?;
+//! assert_eq!(logits.rows(), net.node_count());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod adjacency;
+mod dataset;
+pub mod features;
+pub mod metrics;
+mod model;
+mod multistage;
+pub mod parallel;
+pub mod recursive;
+pub mod train;
+
+pub use adjacency::GraphTensors;
+pub use dataset::{balanced_indices, train_test_rotation, GraphData};
+pub use model::{Gcn, GcnCache, GcnConfig, GcnGrads};
+pub use multistage::{MultiStageConfig, MultiStageGcn, StageReport};

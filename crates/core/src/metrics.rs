@@ -1,0 +1,166 @@
+//! Classification metrics.
+//!
+//! The paper reports accuracy on balanced sets (Table 2) and F1-score on
+//! the full imbalanced designs (Fig. 9), "since accuracy would be
+//! misleading" under a ~0.6% positive rate (§5).
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion counts with derived metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against labels (both `1` = positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(labels: &[usize], predictions: &[usize]) -> Self {
+        assert_eq!(labels.len(), predictions.len(), "one prediction per label");
+        let mut c = Confusion::default();
+        for (&l, &p) in labels.iter().zip(predictions) {
+            match (l == 1, p == 1) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// `tp / (tp + fp)`; 0 when no positives were predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// `tp / (tp + fn)`; 0 when there are no positive labels.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Merges counts from another confusion matrix (e.g. combining the
+    /// per-stage predictions of the multi-stage GCN, §5).
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let c = Confusion::from_predictions(&[1, 0, 1, 0], &[1, 0, 1, 0]);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let c = Confusion::from_predictions(&[1, 0], &[0, 1]);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn known_counts() {
+        // labels:      1 1 1 0 0 0 0 0
+        // predictions: 1 1 0 1 0 0 0 0
+        let c = Confusion::from_predictions(&[1, 1, 1, 0, 0, 0, 0, 0], &[1, 1, 0, 1, 0, 0, 0, 0]);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.tn, 4);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let empty = Confusion::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+        // No positive predictions at all.
+        let c = Confusion::from_predictions(&[1, 1], &[0, 0]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_misleading_on_imbalanced_data() {
+        // The paper's motivation for F1: predicting all-negative on a
+        // 1%-positive set gives 99% accuracy but 0 F1.
+        let labels: Vec<usize> = (0..100).map(|i| usize::from(i == 0)).collect();
+        let preds = vec![0usize; 100];
+        let c = Confusion::from_predictions(&labels, &preds);
+        assert!(c.accuracy() > 0.98);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Confusion::from_predictions(&[1, 0], &[1, 0]);
+        let b = Confusion::from_predictions(&[1, 1], &[0, 1]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.tp, 2);
+        assert_eq!(a.fn_, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction per label")]
+    fn length_mismatch_panics() {
+        Confusion::from_predictions(&[1], &[1, 0]);
+    }
+}

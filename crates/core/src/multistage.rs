@@ -1,0 +1,322 @@
+//! Multi-stage GCN classification (§3.3 of the paper).
+//!
+//! Industrial designs are ~99.4% easy-to-observe, so a single classifier
+//! collapses to the majority class. The paper's fix is a cascade: "In each
+//! stage, a GCN is trained and only filters out negative cases with high
+//! confidence, and passes the remaining nodes to the next stage ... This is
+//! achieved by imposing a large weight on the positive nodes" (Fig. 4).
+//! After a few stages the surviving set is roughly balanced and the last
+//! stage makes the final call.
+
+use serde::{Deserialize, Serialize};
+
+use gcnt_tensor::{Matrix, Result};
+
+use crate::train::{train, TrainConfig};
+use crate::{Gcn, GcnConfig, GraphData, GraphTensors};
+
+/// Configuration of the multi-stage cascade.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiStageConfig {
+    /// Number of stages (the paper uses 3).
+    pub stages: usize,
+    /// Architecture of each stage's GCN.
+    pub gcn: GcnConfig,
+    /// Epochs per stage.
+    pub epochs_per_stage: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// A node survives a stage if its predicted positive probability is at
+    /// least this threshold; anything below is filtered out as a
+    /// high-confidence negative.
+    pub filter_threshold: f32,
+    /// Cap on the automatic positive class weight (`#neg / #pos` of the
+    /// stage's active set, clamped to this value).
+    pub max_pos_weight: f32,
+    /// Seed for per-stage weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for MultiStageConfig {
+    fn default() -> Self {
+        MultiStageConfig {
+            stages: 3,
+            gcn: GcnConfig::default(),
+            epochs_per_stage: 100,
+            lr: 0.05,
+            filter_threshold: 0.25,
+            max_pos_weight: 32.0,
+            seed: 0,
+        }
+    }
+}
+
+/// What happened at one stage of training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stage number (0-based).
+    pub stage: usize,
+    /// Active nodes across all training graphs entering the stage.
+    pub active: usize,
+    /// Positive nodes among them.
+    pub positives: usize,
+    /// Positive class weight used.
+    pub pos_weight: f32,
+    /// Nodes filtered out (confident negatives) by this stage.
+    pub filtered: usize,
+}
+
+/// A trained cascade of GCNs.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gcnt_core::{GraphData, MultiStageConfig, MultiStageGcn};
+/// # fn get_training_data() -> Vec<GraphData> { unimplemented!() }
+///
+/// let graphs = get_training_data();
+/// let refs: Vec<&GraphData> = graphs.iter().collect();
+/// let (model, reports) = MultiStageGcn::train(&MultiStageConfig::default(), &refs)?;
+/// let preds = model.predict(&graphs[0].tensors, &graphs[0].features)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiStageGcn {
+    stages: Vec<Gcn>,
+    filter_threshold: f32,
+}
+
+impl MultiStageGcn {
+    /// Trains the cascade on labeled graphs (full imbalanced node sets).
+    ///
+    /// Each stage trains on the nodes still active, with the positive class
+    /// weighted by the stage's imbalance ratio, then filters out nodes it
+    /// is confident are negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if graphs disagree with the model config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty or any graph is unlabeled.
+    pub fn train(
+        cfg: &MultiStageConfig,
+        graphs: &[&GraphData],
+    ) -> Result<(Self, Vec<StageReport>)> {
+        assert!(!graphs.is_empty(), "need at least one training graph");
+        let mut rng = gcnt_nn::seeded_rng(cfg.seed);
+        // Active set per graph: initially every node.
+        let mut active: Vec<Vec<usize>> = graphs
+            .iter()
+            .map(|g| (0..g.node_count()).collect())
+            .collect();
+        let mut stages = Vec::with_capacity(cfg.stages);
+        let mut reports = Vec::with_capacity(cfg.stages);
+        for stage in 0..cfg.stages {
+            let total_active: usize = active.iter().map(Vec::len).sum();
+            let positives: usize = graphs
+                .iter()
+                .zip(&active)
+                .map(|(g, mask)| mask.iter().filter(|&&i| g.labels[i] == 1).count())
+                .sum();
+            let negatives = total_active.saturating_sub(positives);
+            let pos_weight = if positives == 0 {
+                1.0
+            } else {
+                (negatives as f32 / positives as f32).clamp(1.0, cfg.max_pos_weight)
+            };
+            let mut gcn = Gcn::new(&cfg.gcn, &mut rng);
+            let train_cfg = TrainConfig {
+                epochs: cfg.epochs_per_stage,
+                lr: cfg.lr,
+                pos_weight,
+                momentum: 0.0,
+            };
+            train(&mut gcn, graphs, &active, &train_cfg)?;
+
+            // Filter confident negatives from each graph's active set.
+            let mut filtered = 0usize;
+            for (g, mask) in graphs.iter().zip(active.iter_mut()) {
+                let probs = gcn.predict_proba(&g.tensors, &g.features)?;
+                let before = mask.len();
+                mask.retain(|&i| probs[i] >= cfg.filter_threshold);
+                filtered += before - mask.len();
+            }
+            reports.push(StageReport {
+                stage,
+                active: total_active,
+                positives,
+                pos_weight,
+                filtered,
+            });
+            stages.push(gcn);
+        }
+        Ok((
+            MultiStageGcn {
+                stages,
+                filter_threshold: cfg.filter_threshold,
+            },
+            reports,
+        ))
+    }
+
+    /// The trained stages.
+    pub fn stages(&self) -> &[Gcn] {
+        &self.stages
+    }
+
+    /// Predicts a binary label per node: a node is positive iff it survives
+    /// every stage's filter and the final stage assigns it probability at
+    /// least 0.5.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the graph disagrees with the model.
+    pub fn predict(&self, t: &GraphTensors, x: &Matrix) -> Result<Vec<u8>> {
+        let probs = self.predict_proba(t, x)?;
+        Ok(probs.iter().map(|&p| u8::from(p >= 0.5)).collect())
+    }
+
+    /// Positive probabilities per node: nodes filtered before the last
+    /// stage report the probability at which they were filtered (guaranteed
+    /// below the filter threshold); survivors report the last stage's
+    /// probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the graph disagrees with the model.
+    pub fn predict_proba(&self, t: &GraphTensors, x: &Matrix) -> Result<Vec<f32>> {
+        let n = t.node_count();
+        let mut out = vec![0.0f32; n];
+        let mut alive: Vec<bool> = vec![true; n];
+        for (s, gcn) in self.stages.iter().enumerate() {
+            let probs = gcn.predict_proba(t, x)?;
+            let last = s + 1 == self.stages.len();
+            for i in 0..n {
+                if !alive[i] {
+                    continue;
+                }
+                if last {
+                    out[i] = probs[i];
+                } else if probs[i] < self.filter_threshold {
+                    alive[i] = false;
+                    out[i] = probs[i].min(0.49);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Confusion;
+    use gcnt_netlist::{generate, GeneratorConfig, Scoap};
+
+    /// Imbalanced data: ~3% positives from the SCOAP observability tail.
+    fn imbalanced_data(seed: u64) -> GraphData {
+        let net = generate(&GeneratorConfig::sized("ms", seed, 700));
+        let scoap = Scoap::compute(&net).unwrap();
+        let mut cos: Vec<u32> = net.nodes().map(|v| scoap.co(v)).collect();
+        cos.sort_unstable();
+        let thresh = cos[cos.len() * 97 / 100].max(1);
+        let labels: Vec<u8> = net
+            .nodes()
+            .map(|v| u8::from(scoap.co(v) >= thresh))
+            .collect();
+        GraphData::from_netlist(&net, None)
+            .unwrap()
+            .with_labels(labels)
+    }
+
+    fn small_cfg(stages: usize) -> MultiStageConfig {
+        MultiStageConfig {
+            stages,
+            gcn: GcnConfig {
+                embed_dims: vec![8, 8],
+                fc_dims: vec![8],
+                ..GcnConfig::default()
+            },
+            epochs_per_stage: 40,
+            lr: 0.1,
+            filter_threshold: 0.25,
+            max_pos_weight: 16.0,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn cascade_trains_and_reports() {
+        let d = imbalanced_data(71);
+        let (model, reports) = MultiStageGcn::train(&small_cfg(3), &[&d]).unwrap();
+        assert_eq!(model.stages().len(), 3);
+        assert_eq!(reports.len(), 3);
+        // First stage sees everything.
+        assert_eq!(reports[0].active, d.node_count());
+        // Stages filter nodes, so active counts never increase.
+        assert!(reports[1].active <= reports[0].active);
+        assert!(reports[2].active <= reports[1].active);
+        // The cascade uses a >1 positive weight on imbalanced data.
+        assert!(reports[0].pos_weight > 1.0);
+    }
+
+    #[test]
+    fn multistage_beats_single_stage_f1() {
+        let d = imbalanced_data(72);
+        // Single unweighted stage, no filtering.
+        let single_cfg = MultiStageConfig {
+            stages: 1,
+            max_pos_weight: 1.0,
+            ..small_cfg(1)
+        };
+        let (single, _) = MultiStageGcn::train(&single_cfg, &[&d]).unwrap();
+        let (multi, _) = MultiStageGcn::train(&small_cfg(3), &[&d]).unwrap();
+        let labels: Vec<usize> = d.labels.iter().map(|&l| l as usize).collect();
+        let f1_of = |m: &MultiStageGcn| {
+            let preds: Vec<usize> = m
+                .predict(&d.tensors, &d.features)
+                .unwrap()
+                .iter()
+                .map(|&p| p as usize)
+                .collect();
+            Confusion::from_predictions(&labels, &preds).f1()
+        };
+        let f1_single = f1_of(&single);
+        let f1_multi = f1_of(&multi);
+        assert!(
+            f1_multi >= f1_single,
+            "multi-stage F1 {f1_multi} should be >= single-stage {f1_single}"
+        );
+        assert!(f1_multi > 0.2, "multi-stage F1 {f1_multi} too low");
+    }
+
+    #[test]
+    fn filtered_nodes_are_negative_predictions() {
+        let d = imbalanced_data(73);
+        let (model, _) = MultiStageGcn::train(&small_cfg(2), &[&d]).unwrap();
+        let probs = model.predict_proba(&d.tensors, &d.features).unwrap();
+        let preds = model.predict(&d.tensors, &d.features).unwrap();
+        for (p, &y) in probs.iter().zip(&preds) {
+            assert_eq!(y == 1, *p >= 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training graph")]
+    fn empty_graph_list_panics() {
+        let _ = MultiStageGcn::train(&small_cfg(1), &[]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = imbalanced_data(74);
+        let mut cfg = small_cfg(1);
+        cfg.epochs_per_stage = 2;
+        let (model, _) = MultiStageGcn::train(&cfg, &[&d]).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: MultiStageGcn = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+    }
+}

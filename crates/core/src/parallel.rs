@@ -1,0 +1,158 @@
+//! Multi-worker data-parallel training (§3.4.2 of the paper).
+//!
+//! The paper's scheme is a variant of data parallelism: because one
+//! graph's adjacency matrix and node representation matrix cannot be
+//! split, *whole graphs* are distributed — "Each GPU processes one graph,
+//! and all of the output is gathered to calculate the loss and then do
+//! back-propagation to update the model" (Fig. 5).
+//!
+//! Here each *worker thread* processes one graph per epoch: the current
+//! parameters are shared read-only, each worker computes its graph's full
+//! gradient, the main thread sums the gradients and applies one SGD step.
+//! The result is bit-for-bit identical to the serial [`crate::train::train`]
+//! loop (gradients are summed in a fixed graph order), which the tests
+//! assert — parallelism changes wall-clock, never the trained model.
+
+use crossbeam::thread;
+
+use gcnt_tensor::{Result, TensorError};
+
+use crate::metrics::Confusion;
+use crate::train::{apply_update, masked_loss_grads, optimizer_for, EpochStats, TrainConfig};
+use crate::{Gcn, GraphData};
+
+/// Trains with one worker thread per graph and synchronous gradient
+/// summation. See the module docs for the exact scheme.
+///
+/// # Errors
+///
+/// Returns a shape error if any graph disagrees with the model.
+///
+/// # Panics
+///
+/// Panics if `graphs` and `masks` lengths differ, any graph is unlabeled,
+/// or a worker thread panics.
+pub fn train_parallel(
+    gcn: &mut Gcn,
+    graphs: &[&GraphData],
+    masks: &[Vec<usize>],
+    cfg: &TrainConfig,
+) -> Result<Vec<EpochStats>> {
+    assert_eq!(graphs.len(), masks.len(), "one mask per graph");
+    let class_weights = [1.0, cfg.pos_weight];
+    let mut optimizer = optimizer_for(gcn, cfg);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        // Workers borrow the model read-only for the whole epoch.
+        let snapshot: &Gcn = gcn;
+        let results: Vec<_> = thread::scope(|scope| {
+            let handles: Vec<_> = graphs
+                .iter()
+                .zip(masks)
+                .map(|(data, mask)| {
+                    scope.spawn(move |_| masked_loss_grads(snapshot, data, mask, &class_weights))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+
+        let mut total = gcn.zero_grads();
+        let mut loss_sum = 0.0f32;
+        let mut confusion = Confusion::default();
+        for (result, (data, mask)) in results.into_iter().zip(graphs.iter().zip(masks)) {
+            let (loss, grads, preds) = result.map_err(|e: TensorError| e)?;
+            total.accumulate(&grads);
+            loss_sum += loss;
+            confusion.merge(&Confusion::from_predictions(&data.labels_at(mask), &preds));
+        }
+        total.scale(1.0 / graphs.len() as f32);
+        apply_update(gcn, &total, cfg, &mut optimizer);
+        history.push(EpochStats {
+            epoch,
+            loss: loss_sum / graphs.len() as f32,
+            train_accuracy: confusion.accuracy(),
+        });
+    }
+    Ok(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::train;
+    use crate::GcnConfig;
+    use gcnt_netlist::{generate, GeneratorConfig, Scoap};
+    use gcnt_nn::seeded_rng;
+
+    fn labeled_data(seed: u64) -> GraphData {
+        let net = generate(&GeneratorConfig::sized("p", seed, 400));
+        let scoap = Scoap::compute(&net).unwrap();
+        let mut cos: Vec<u32> = net.nodes().map(|v| scoap.co(v)).collect();
+        cos.sort_unstable();
+        let thresh = cos[cos.len() * 9 / 10].max(1);
+        let labels: Vec<u8> = net
+            .nodes()
+            .map(|v| u8::from(scoap.co(v) >= thresh))
+            .collect();
+        GraphData::from_netlist(&net, None)
+            .unwrap()
+            .with_labels(labels)
+    }
+
+    fn small_gcn(seed: u64) -> Gcn {
+        Gcn::new(
+            &GcnConfig {
+                embed_dims: vec![4, 8],
+                fc_dims: vec![4],
+                ..GcnConfig::default()
+            },
+            &mut seeded_rng(seed),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let d1 = labeled_data(41);
+        let d2 = labeled_data(42);
+        let d3 = labeled_data(43);
+        let masks: Vec<Vec<usize>> = [&d1, &d2, &d3]
+            .iter()
+            .map(|d| (0..d.node_count()).step_by(3).collect())
+            .collect();
+        let cfg = TrainConfig {
+            epochs: 4,
+            lr: 0.05,
+            pos_weight: 3.0,
+            momentum: 0.0,
+        };
+        let mut serial = small_gcn(50);
+        let hs = train(&mut serial, &[&d1, &d2, &d3], &masks, &cfg).unwrap();
+        let mut par = small_gcn(50);
+        let hp = train_parallel(&mut par, &[&d1, &d2, &d3], &masks, &cfg).unwrap();
+        assert_eq!(serial, par, "parallel training must not change the model");
+        assert_eq!(hs.len(), hp.len());
+        for (a, b) in hs.iter().zip(&hp) {
+            assert_eq!(a.loss, b.loss);
+        }
+    }
+
+    #[test]
+    fn single_graph_parallel_works() {
+        let d = labeled_data(44);
+        let mask: Vec<usize> = (0..d.node_count()).step_by(2).collect();
+        let mut gcn = small_gcn(51);
+        let cfg = TrainConfig {
+            epochs: 3,
+            lr: 0.05,
+            pos_weight: 1.0,
+            momentum: 0.0,
+        };
+        let h = train_parallel(&mut gcn, &[&d], &[mask], &cfg).unwrap();
+        assert_eq!(h.len(), 3);
+        assert!(h[2].loss <= h[0].loss * 1.5);
+    }
+}

@@ -1,0 +1,328 @@
+//! Single-worker GCN training.
+//!
+//! Training is full-batch per graph: the forward pass runs over the whole
+//! netlist (embeddings of unlabeled/unselected nodes are still needed as
+//! neighbourhood context), but the loss is *masked* to a node subset —
+//! either a balanced sample (Table 2 protocol) or the active set of a
+//! multi-stage cascade (§3.3).
+
+use serde::{Deserialize, Serialize};
+
+use gcnt_nn::loss::weighted_softmax_cross_entropy;
+use gcnt_tensor::{ops, Matrix, Result};
+
+use crate::metrics::Confusion;
+use crate::{Gcn, GcnGrads, GraphData};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of full-batch epochs (the paper trains for 300).
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum (`0.0` = the plain SGD of the paper).
+    pub momentum: f32,
+    /// Loss weight of the positive class (1.0 = unweighted).
+    pub pos_weight: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 300,
+            lr: 0.05,
+            momentum: 0.0,
+            pos_weight: 1.0,
+        }
+    }
+}
+
+/// Loss and masked-set accuracy after one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch number (0-based).
+    pub epoch: usize,
+    /// Mean weighted loss over all training graphs.
+    pub loss: f32,
+    /// Accuracy on the training masks.
+    pub train_accuracy: f64,
+}
+
+/// Computes the masked loss and full-model gradients for one graph.
+///
+/// The forward pass covers the whole graph; the loss covers only the rows
+/// listed in `mask`. Rows outside the mask receive zero logit gradient, so
+/// they contribute context but no loss.
+///
+/// Returns `(loss, gradients, masked_predictions)`.
+///
+/// # Errors
+///
+/// Returns a shape error if the data and model disagree.
+///
+/// # Panics
+///
+/// Panics if `data` has no labels or a mask index is out of bounds.
+pub fn masked_loss_grads(
+    gcn: &Gcn,
+    data: &GraphData,
+    mask: &[usize],
+    class_weights: &[f32; 2],
+) -> Result<(f32, GcnGrads, Vec<usize>)> {
+    let (logits, cache) = gcn.forward(&data.tensors, &data.features)?;
+    let masked_logits = logits.gather_rows(mask);
+    let labels = data.labels_at(mask);
+    let (loss, dmasked) = weighted_softmax_cross_entropy(&masked_logits, &labels, class_weights);
+    // Scatter the masked gradient back into a full-graph gradient.
+    let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
+    for (i, &node) in mask.iter().enumerate() {
+        dlogits.row_mut(node).copy_from_slice(dmasked.row(i));
+    }
+    let grads = gcn.backward(&data.tensors, &cache, &dlogits)?;
+    let preds = ops::argmax_rows(&masked_logits);
+    Ok((loss, grads, preds))
+}
+
+/// Trains on one or more graphs with plain SGD, summing gradients across
+/// graphs each epoch (the serial reference for the parallel scheme of
+/// §3.4.2). `masks[i]` selects the training nodes of `graphs[i]`.
+///
+/// Returns per-epoch statistics.
+///
+/// # Errors
+///
+/// Returns a shape error if any graph disagrees with the model.
+///
+/// # Panics
+///
+/// Panics if `graphs` and `masks` lengths differ, or a graph is unlabeled.
+pub fn train(
+    gcn: &mut Gcn,
+    graphs: &[&GraphData],
+    masks: &[Vec<usize>],
+    cfg: &TrainConfig,
+) -> Result<Vec<EpochStats>> {
+    assert_eq!(graphs.len(), masks.len(), "one mask per graph");
+    let class_weights = [1.0, cfg.pos_weight];
+    let mut optimizer = optimizer_for(gcn, cfg);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        let mut total = gcn.zero_grads();
+        let mut loss_sum = 0.0f32;
+        let mut confusion = Confusion::default();
+        for (data, mask) in graphs.iter().zip(masks) {
+            let (loss, grads, preds) = masked_loss_grads(gcn, data, mask, &class_weights)?;
+            total.accumulate(&grads);
+            loss_sum += loss;
+            confusion.merge(&Confusion::from_predictions(&data.labels_at(mask), &preds));
+        }
+        total.scale(1.0 / graphs.len() as f32);
+        apply_update(gcn, &total, cfg, &mut optimizer);
+        history.push(EpochStats {
+            epoch,
+            loss: loss_sum / graphs.len() as f32,
+            train_accuracy: confusion.accuracy(),
+        });
+    }
+    Ok(history)
+}
+
+/// Builds the optimiser state for a training run (`None` when plain SGD
+/// suffices, i.e. zero momentum).
+pub(crate) fn optimizer_for(gcn: &mut Gcn, cfg: &TrainConfig) -> Option<gcnt_nn::ModelOptimizer> {
+    if cfg.momentum == 0.0 {
+        return None;
+    }
+    let lens: Vec<usize> = gcn.params_mut().iter().map(|s| s.len()).collect();
+    Some(gcnt_nn::ModelOptimizer::new(
+        gcnt_nn::OptimizerConfig::Sgd(gcnt_nn::SgdConfig {
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+        }),
+        lens,
+    ))
+}
+
+/// Applies one parameter update, through the momentum optimiser when one
+/// is present.
+pub(crate) fn apply_update(
+    gcn: &mut Gcn,
+    grads: &GcnGrads,
+    cfg: &TrainConfig,
+    optimizer: &mut Option<gcnt_nn::ModelOptimizer>,
+) {
+    match optimizer {
+        Some(opt) => opt.step(gcn.params_mut(), grads.params()),
+        None => gcn.apply_sgd(grads, cfg.lr),
+    }
+}
+
+/// Evaluates a model on a masked subset of one graph.
+///
+/// # Errors
+///
+/// Returns a shape error if the data and model disagree.
+///
+/// # Panics
+///
+/// Panics if `data` has no labels or a mask index is out of bounds.
+pub fn evaluate(gcn: &Gcn, data: &GraphData, mask: &[usize]) -> Result<Confusion> {
+    let logits = gcn.predict(&data.tensors, &data.features)?;
+    let preds = ops::argmax_rows(&logits.gather_rows(mask));
+    Ok(Confusion::from_predictions(&data.labels_at(mask), &preds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{balanced_indices, GcnConfig};
+    use gcnt_netlist::{generate, GeneratorConfig, Scoap};
+    use gcnt_nn::seeded_rng;
+
+    /// A small design with labels derived from SCOAP observability (a
+    /// learnable but non-trivial target since features are log-squashed
+    /// and normalised).
+    fn labeled_data(seed: u64) -> GraphData {
+        let net = generate(&GeneratorConfig::sized("train", seed, 600));
+        let scoap = Scoap::compute(&net).unwrap();
+        let mut cos: Vec<u32> = net.nodes().map(|v| scoap.co(v)).collect();
+        cos.sort_unstable();
+        let thresh = cos[cos.len() * 95 / 100];
+        let labels: Vec<u8> = net
+            .nodes()
+            .map(|v| u8::from(scoap.co(v) >= thresh.max(1)))
+            .collect();
+        GraphData::from_netlist(&net, None)
+            .unwrap()
+            .with_labels(labels)
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let data = labeled_data(31);
+        let mut rng = seeded_rng(0);
+        let mask = balanced_indices(&data.labels, &mut rng);
+        assert!(mask.len() >= 10, "need some positives, got {}", mask.len());
+        let mut gcn = Gcn::new(
+            &GcnConfig {
+                embed_dims: vec![8, 16],
+                fc_dims: vec![8],
+                ..GcnConfig::default()
+            },
+            &mut rng,
+        );
+        let cfg = TrainConfig {
+            epochs: 60,
+            lr: 0.1,
+            pos_weight: 1.0,
+            momentum: 0.0,
+        };
+        let history = train(&mut gcn, &[&data], std::slice::from_ref(&mask), &cfg).unwrap();
+        let first = history.first().unwrap().loss;
+        let last = history.last().unwrap().loss;
+        assert!(last < first, "loss {first} -> {last}");
+        // Balanced accuracy should beat coin-flipping comfortably.
+        let acc = evaluate(&gcn, &data, &mask).unwrap().accuracy();
+        assert!(acc > 0.7, "balanced accuracy {acc}");
+    }
+
+    #[test]
+    fn multi_graph_training_runs() {
+        let d1 = labeled_data(32);
+        let d2 = labeled_data(33);
+        let mut rng = seeded_rng(1);
+        let m1 = balanced_indices(&d1.labels, &mut rng);
+        let m2 = balanced_indices(&d2.labels, &mut rng);
+        let mut gcn = Gcn::new(
+            &GcnConfig {
+                embed_dims: vec![8],
+                fc_dims: vec![8],
+                ..GcnConfig::default()
+            },
+            &mut rng,
+        );
+        let cfg = TrainConfig {
+            epochs: 10,
+            lr: 0.05,
+            pos_weight: 2.0,
+            momentum: 0.0,
+        };
+        let history = train(&mut gcn, &[&d1, &d2], &[m1, m2], &cfg).unwrap();
+        assert_eq!(history.len(), 10);
+        assert!(history.iter().all(|s| s.loss.is_finite()));
+    }
+
+    #[test]
+    fn masked_grads_ignore_unmasked_rows() {
+        // Gradient through a mask of all nodes vs a subset must differ.
+        let data = labeled_data(34);
+        let mut rng = seeded_rng(2);
+        let gcn = Gcn::new(
+            &GcnConfig {
+                embed_dims: vec![4],
+                fc_dims: vec![4],
+                ..GcnConfig::default()
+            },
+            &mut rng,
+        );
+        let small_mask: Vec<usize> = (0..10).collect();
+        let (_, g_small, _) = masked_loss_grads(&gcn, &data, &small_mask, &[1.0, 1.0]).unwrap();
+        let big_mask: Vec<usize> = (0..data.node_count()).collect();
+        let (_, g_big, _) = masked_loss_grads(&gcn, &data, &big_mask, &[1.0, 1.0]).unwrap();
+        assert_ne!(g_small.agg_weights, g_big.agg_weights);
+    }
+
+    #[test]
+    fn momentum_training_converges() {
+        let data = labeled_data(36);
+        let mut rng = seeded_rng(3);
+        let mask = balanced_indices(&data.labels, &mut rng);
+        let mut gcn = Gcn::new(
+            &GcnConfig {
+                embed_dims: vec![8],
+                fc_dims: vec![8],
+                ..GcnConfig::default()
+            },
+            &mut rng,
+        );
+        let cfg = TrainConfig {
+            epochs: 40,
+            lr: 0.02,
+            momentum: 0.9,
+            pos_weight: 1.0,
+        };
+        let history = train(&mut gcn, &[&data], std::slice::from_ref(&mask), &cfg).unwrap();
+        let first = history.first().unwrap().loss;
+        let last = history.last().unwrap().loss;
+        assert!(last < first, "loss {first} -> {last}");
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = labeled_data(35);
+        let mask: Vec<usize> = (0..50).collect();
+        let run = || {
+            let mut rng = seeded_rng(7);
+            let mut gcn = Gcn::new(
+                &GcnConfig {
+                    embed_dims: vec![4],
+                    fc_dims: vec![4],
+                    ..GcnConfig::default()
+                },
+                &mut rng,
+            );
+            let cfg = TrainConfig {
+                epochs: 5,
+                lr: 0.05,
+                pos_weight: 1.0,
+                momentum: 0.0,
+            };
+            train(&mut gcn, &[&data], std::slice::from_ref(&mask), &cfg).unwrap()
+        };
+        let h1 = run();
+        let h2 = run();
+        assert_eq!(h1.last().unwrap().loss, h2.last().unwrap().loss);
+    }
+}

@@ -1,0 +1,348 @@
+//! Control-point insertion — the CP side of test point insertion.
+//!
+//! The paper's method "is generic and can be applied to both CPs insertion
+//! and OPs insertion" (§2.2, Fig. 2): a control point forces a line to a
+//! desired value in test mode. This module provides the controllability
+//! analogue of the observability pipeline:
+//!
+//! * [`estimate_signal_probabilities`] — random-pattern signal
+//!   probability of every node (the controllability ground truth, like the
+//!   labeler's CPT observability).
+//! * [`label_difficult_to_control`] — flags nodes pinned near constant 0
+//!   or constant 1 under random patterns.
+//! * [`insert_control_points`] — iterative analysis/insert loop that
+//!   rewires each hard node's fanout through an OR (control-to-1) or AND
+//!   (control-to-0) gate driven by a fresh test input (Fig. 2's CP1/CP2
+//!   structure).
+
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use gcnt_netlist::{CellKind, Netlist, NodeId, Result};
+
+use crate::sim::PatternSim;
+
+/// Configuration of the controllability analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlLabelConfig {
+    /// Number of random patterns (rounded up to a multiple of 64).
+    pub patterns: usize,
+    /// A node is difficult to control to value `b` if its probability of
+    /// taking `b` under random patterns is below this threshold.
+    pub threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ControlLabelConfig {
+    fn default() -> Self {
+        ControlLabelConfig {
+            patterns: 8192,
+            threshold: 0.001,
+            seed: 0xC_9,
+        }
+    }
+}
+
+/// Result of the controllability analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlLabelResult {
+    /// Estimated probability of each node being 1.
+    pub prob_one: Vec<f64>,
+    /// 1 = the node is almost never 1 (difficult to control to 1).
+    pub hard_to_one: Vec<u8>,
+    /// 1 = the node is almost never 0 (difficult to control to 0).
+    pub hard_to_zero: Vec<u8>,
+}
+
+impl ControlLabelResult {
+    /// Nodes that are difficult to control to either value.
+    pub fn positive_count(&self) -> usize {
+        self.hard_to_one
+            .iter()
+            .zip(&self.hard_to_zero)
+            .filter(|&(&a, &b)| a == 1 || b == 1)
+            .count()
+    }
+}
+
+/// Estimates the per-node signal probability `P(v = 1)` with
+/// parallel-pattern simulation.
+///
+/// # Errors
+///
+/// Returns a netlist error if the design has a combinational cycle.
+pub fn estimate_signal_probabilities(
+    net: &Netlist,
+    patterns: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    let sim = PatternSim::new(net)?;
+    let batches = patterns.div_ceil(64).max(1);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut ones = vec![0u64; net.node_count()];
+    for _ in 0..batches {
+        let values = sim.simulate_random(&mut rng);
+        for (o, v) in ones.iter_mut().zip(&values) {
+            *o += v.count_ones() as u64;
+        }
+    }
+    let total = (batches * 64) as f64;
+    Ok(ones.iter().map(|&o| o as f64 / total).collect())
+}
+
+/// Labels nodes that are difficult to control to 0 or 1.
+///
+/// Pseudo inputs (primary inputs, scan cells) and `Output` markers are
+/// never flagged — they are directly controllable / mere sinks.
+///
+/// # Errors
+///
+/// Returns a netlist error if the design has a combinational cycle.
+pub fn label_difficult_to_control(
+    net: &Netlist,
+    cfg: &ControlLabelConfig,
+) -> Result<ControlLabelResult> {
+    let prob_one = estimate_signal_probabilities(net, cfg.patterns, cfg.seed)?;
+    let mut hard_to_one = vec![0u8; net.node_count()];
+    let mut hard_to_zero = vec![0u8; net.node_count()];
+    for v in net.nodes() {
+        let kind = net.kind(v);
+        if kind.is_pseudo_input() || kind == CellKind::Output {
+            continue;
+        }
+        let p = prob_one[v.index()];
+        if p < cfg.threshold {
+            hard_to_one[v.index()] = 1;
+        }
+        if 1.0 - p < cfg.threshold {
+            hard_to_zero[v.index()] = 1;
+        }
+    }
+    Ok(ControlLabelResult {
+        prob_one,
+        hard_to_one,
+        hard_to_zero,
+    })
+}
+
+/// Configuration of the iterative CP insertion loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpInsertionConfig {
+    /// Analysis settings per round.
+    pub label: ControlLabelConfig,
+    /// Maximum analysis/insert rounds.
+    pub max_iterations: usize,
+    /// Hard cap on inserted control points.
+    pub max_cps: usize,
+}
+
+impl Default for CpInsertionConfig {
+    fn default() -> Self {
+        CpInsertionConfig {
+            label: ControlLabelConfig::default(),
+            max_iterations: 4,
+            max_cps: usize::MAX,
+        }
+    }
+}
+
+/// One inserted control point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InsertedControlPoint {
+    /// The node whose controllability the CP fixes.
+    pub target: NodeId,
+    /// The injected gate (`Or` for control-to-1, `And` for control-to-0).
+    pub gate: NodeId,
+    /// The fresh test input driving the gate.
+    pub control_input: NodeId,
+}
+
+/// Iteratively inserts control points until no node is difficult to
+/// control (or the caps are hit). A hard-to-one node's first fanout edge
+/// is rewired through `OR(node, test_input)`; a hard-to-zero node through
+/// `AND(node, test_input)`. Returns the insertions in order.
+///
+/// # Errors
+///
+/// Returns a netlist error if the design has a combinational cycle.
+pub fn insert_control_points(
+    net: &mut Netlist,
+    cfg: &CpInsertionConfig,
+) -> Result<Vec<InsertedControlPoint>> {
+    let mut inserted = Vec::new();
+    for round in 0..cfg.max_iterations {
+        let mut label_cfg = cfg.label.clone();
+        label_cfg.seed = cfg.label.seed.wrapping_add(round as u64);
+        let labels = label_difficult_to_control(net, &label_cfg)?;
+        let mut any = false;
+        let nodes: Vec<NodeId> = net.nodes().collect();
+        for v in nodes {
+            if inserted.len() >= cfg.max_cps {
+                return Ok(inserted);
+            }
+            let hard_one = labels.hard_to_one[v.index()] == 1;
+            let hard_zero = labels.hard_to_zero[v.index()] == 1;
+            if !hard_one && !hard_zero {
+                continue;
+            }
+            // Rewire the first fanout edge of v through the CP gate; if v
+            // has no combinational sink to rewire, skip it.
+            let Some((sink, pin)) = first_rewireable_edge(net, v) else {
+                continue;
+            };
+            let kind = if hard_one {
+                CellKind::Or
+            } else {
+                CellKind::And
+            };
+            let (gate, ctrl) = net.insert_control_point(sink, pin, kind)?;
+            inserted.push(InsertedControlPoint {
+                target: v,
+                gate,
+                control_input: ctrl,
+            });
+            any = true;
+        }
+        if !any {
+            break;
+        }
+    }
+    Ok(inserted)
+}
+
+/// Finds `(sink, pin)` of the first fanout edge of `v` that can host a CP
+/// gate (i.e. the sink is not an `Output` marker, which must stay
+/// single-fanin on the original signal).
+fn first_rewireable_edge(net: &Netlist, v: NodeId) -> Option<(NodeId, usize)> {
+    for &sink in net.fanout(v) {
+        if net.kind(sink) == CellKind::Output {
+            continue;
+        }
+        if let Some(pin) = net.fanin(sink).iter().position(|&w| w == v) {
+            return Some((sink, pin));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atpg::{run_random_atpg_on, AtpgConfig};
+    use crate::fault::collapsed_faults;
+    use gcnt_netlist::{generate, GeneratorConfig};
+
+    /// A wide AND cascade: the output is almost never 1.
+    fn and_cascade(depth: usize) -> (Netlist, NodeId) {
+        let mut net = Netlist::new("cascade");
+        let mut cur = net.add_cell(CellKind::Input);
+        for _ in 0..depth {
+            let side = net.add_cell(CellKind::Input);
+            let g = net.add_cell(CellKind::And);
+            net.connect(cur, g).unwrap();
+            net.connect(side, g).unwrap();
+            cur = g;
+        }
+        let tail = net.add_cell(CellKind::Buf);
+        net.connect(cur, tail).unwrap();
+        let o = net.add_cell(CellKind::Output);
+        net.connect(tail, o).unwrap();
+        (net, cur)
+    }
+
+    #[test]
+    fn signal_probabilities_match_structure() {
+        let (net, deep) = and_cascade(10);
+        let probs = estimate_signal_probabilities(&net, 8192, 1).unwrap();
+        // The cascade output is 1 with probability 2^-11.
+        assert!(probs[deep.index()] < 0.01, "p = {}", probs[deep.index()]);
+        // Primary inputs sit at ~0.5.
+        let pi = net.primary_inputs()[0];
+        assert!((probs[pi.index()] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn cascade_output_is_hard_to_one() {
+        let (net, deep) = and_cascade(12);
+        let labels = label_difficult_to_control(&net, &ControlLabelConfig::default()).unwrap();
+        assert_eq!(labels.hard_to_one[deep.index()], 1);
+        assert_eq!(labels.hard_to_zero[deep.index()], 0);
+        // Inputs are never flagged.
+        for pi in net.primary_inputs() {
+            assert_eq!(labels.hard_to_one[pi.index()], 0);
+        }
+    }
+
+    #[test]
+    fn control_points_fix_controllability() {
+        let (mut net, _) = and_cascade(12);
+        let cfg = CpInsertionConfig {
+            label: ControlLabelConfig {
+                patterns: 4096,
+                threshold: 0.005,
+                seed: 2,
+            },
+            ..Default::default()
+        };
+        let inserted = insert_control_points(&mut net, &cfg).unwrap();
+        assert!(!inserted.is_empty(), "nothing inserted");
+        net.validate().unwrap();
+        // After insertion, nothing is hard to control any more.
+        let after = label_difficult_to_control(&net, &cfg.label).unwrap();
+        assert_eq!(after.positive_count(), 0, "residual hard nodes");
+    }
+
+    #[test]
+    fn control_points_improve_atpg_coverage() {
+        // Shadowed designs have faults that random patterns cannot excite
+        // or propagate; CPs open the gating chains.
+        let mut gen_cfg = GeneratorConfig::sized("cp", 31, 1_200);
+        gen_cfg.shadow_regions = 4;
+        let original = generate(&gen_cfg);
+        let faults = collapsed_faults(&original);
+        let atpg_cfg = AtpgConfig {
+            max_patterns: 4_096,
+            ..Default::default()
+        };
+        let before = run_random_atpg_on(&original, &faults, &atpg_cfg).unwrap();
+
+        let mut improved = original.clone();
+        let inserted = insert_control_points(
+            &mut improved,
+            &CpInsertionConfig {
+                label: ControlLabelConfig {
+                    patterns: 4096,
+                    threshold: 0.005,
+                    seed: 3,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!inserted.is_empty());
+        let after = run_random_atpg_on(&improved, &faults, &atpg_cfg).unwrap();
+        assert!(
+            after.coverage() >= before.coverage(),
+            "coverage {} -> {}",
+            before.coverage(),
+            after.coverage()
+        );
+    }
+
+    #[test]
+    fn insertion_is_capped() {
+        let (mut net, _) = and_cascade(12);
+        let cfg = CpInsertionConfig {
+            label: ControlLabelConfig {
+                patterns: 1024,
+                threshold: 0.02,
+                seed: 4,
+            },
+            max_iterations: 5,
+            max_cps: 1,
+        };
+        let inserted = insert_control_points(&mut net, &cfg).unwrap();
+        assert_eq!(inserted.len(), 1);
+    }
+}

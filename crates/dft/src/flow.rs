@@ -1,0 +1,460 @@
+//! The paper's iterative GCN-guided observation point insertion (§4,
+//! Fig. 7).
+//!
+//! Each iteration:
+//!
+//! 1. The trained classifier predicts difficult-to-observe nodes.
+//! 2. Every positive prediction (up to a candidate cap) is scored by
+//!    *impact*: the reduction in positive predictions within its fan-in
+//!    cone if an observation point were inserted there (Fig. 6). The
+//!    hypothetical insertion is previewed by recomputing SCOAP
+//!    observability over the fan-in cone ([`Scoap::preview_observe`]) and
+//!    re-running inference with the updated attributes.
+//! 3. The top-ranked locations receive observation points. The graph is
+//!    updated *incrementally*: the COO adjacency gains the new tuples, the
+//!    new node gets the attribute row `[0, 1, 1, 0]`, and only the fan-in
+//!    cone's observability is refreshed (§4).
+//! 4. Repeat until no positive predictions remain.
+//!
+//! Deviation from the paper, for exactness bookkeeping: during *impact
+//! preview* (step 2) the candidate's would-be OP cell is not added to the
+//! graph structure — only the attribute changes are applied. The committed
+//! insertion (step 3) performs the full structural update. The preview
+//! therefore slightly underestimates the embedding perturbation one extra
+//! sink node causes; the committed state is exact.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use gcnt_core::features::{squash, FeatureNormalizer, OBSERVATION_POINT_ATTRS, RAW_DIM};
+use gcnt_core::GraphTensors;
+use gcnt_netlist::{logic_levels, CellKind, Netlist, NetlistError, NodeId, Scoap};
+use gcnt_tensor::{Matrix, TensorError};
+
+/// Errors produced by the insertion flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The netlist substrate reported an error.
+    Netlist(NetlistError),
+    /// A tensor kernel reported an error (model/graph shape mismatch).
+    Tensor(TensorError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Netlist(e) => write!(f, "netlist error: {e}"),
+            FlowError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Netlist(e) => Some(e),
+            FlowError::Tensor(e) => Some(e),
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<NetlistError> for FlowError {
+    fn from(e: NetlistError) -> Self {
+        FlowError::Netlist(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for FlowError {
+    fn from(e: TensorError) -> Self {
+        FlowError::Tensor(e)
+    }
+}
+
+/// Configuration of the iterative flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Maximum prediction/insert iterations.
+    pub max_iterations: usize,
+    /// Observation points inserted per iteration (the "top ranked
+    /// locations", §4).
+    pub ops_per_iteration: usize,
+    /// Positive predictions evaluated for impact per iteration, taken in
+    /// decreasing predicted-probability order.
+    pub candidate_limit: usize,
+    /// A node is a positive prediction if its classifier probability is at
+    /// least this.
+    pub prob_threshold: f32,
+    /// Cap on the fan-in cone size used for impact counting (Fig. 6).
+    pub cone_limit: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            max_iterations: 12,
+            ops_per_iteration: 16,
+            candidate_limit: 24,
+            prob_threshold: 0.5,
+            cone_limit: 500,
+        }
+    }
+}
+
+/// Per-iteration progress record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// Positive predictions entering the iteration.
+    pub positives: usize,
+    /// Observation points inserted this iteration.
+    pub inserted: usize,
+}
+
+/// Outcome of the iterative flow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// Nodes that received observation points, in insertion order.
+    pub inserted: Vec<NodeId>,
+    /// Whether the flow exited because no positive predictions remained.
+    pub converged: bool,
+    /// Positive predictions remaining at exit.
+    pub remaining_positives: usize,
+    /// Per-iteration history.
+    pub history: Vec<IterationStats>,
+}
+
+/// Runs the iterative GCN-guided OP insertion flow, mutating `net`.
+///
+/// `classify` is the trained model: given graph tensors and normalised
+/// node features it returns the positive probability per node (both
+/// [`gcnt_core::Gcn::predict_proba`] and
+/// [`gcnt_core::MultiStageGcn::predict_proba`] fit directly).
+///
+/// `normalizer` must be the normaliser the classifier was *trained* with —
+/// the flow is inductive and re-applies the training statistics to the
+/// modified design.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if the netlist is cyclic or the classifier/graph
+/// shapes disagree.
+pub fn run_gcn_opi<F>(
+    net: &mut Netlist,
+    normalizer: &FeatureNormalizer,
+    classify: F,
+    cfg: &FlowConfig,
+) -> Result<FlowOutcome, FlowError>
+where
+    F: Fn(&GraphTensors, &Matrix) -> Result<Vec<f32>, TensorError>,
+{
+    let levels = logic_levels(net)?;
+    let mut scoap = Scoap::compute(net)?;
+    // Raw (log-squashed) attribute rows, kept as a Vec so appends are O(1).
+    let mut raw: Vec<[f32; RAW_DIM]> = (0..net.node_count())
+        .map(|i| {
+            [
+                squash(levels[i]),
+                squash(scoap.cc0_all()[i]),
+                squash(scoap.cc1_all()[i]),
+                squash(scoap.co_all()[i]),
+            ]
+        })
+        .collect();
+    let mut tensors = GraphTensors::from_netlist(net);
+
+    let mut inserted = Vec::new();
+    let mut history = Vec::new();
+    let mut converged = false;
+    let mut remaining = 0usize;
+
+    for iteration in 0..cfg.max_iterations {
+        let features = normalizer.apply(&rows_to_matrix(&raw));
+        let probs = classify(&tensors, &features)?;
+        // Positive predictions, excluding nodes that are already observed
+        // or are themselves observe points.
+        let mut positives: Vec<(NodeId, f32)> = net
+            .nodes()
+            .filter(|&v| !matches!(net.kind(v), CellKind::Output | CellKind::Dff))
+            .filter(|&v| scoap.co(v) > 0)
+            .map(|v| (v, probs[v.index()]))
+            .filter(|&(_, p)| p >= cfg.prob_threshold)
+            .collect();
+        remaining = positives.len();
+        if positives.is_empty() {
+            converged = true;
+            history.push(IterationStats {
+                iteration,
+                positives: 0,
+                inserted: 0,
+            });
+            break;
+        }
+        // Highest-probability candidates first.
+        positives.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        positives.truncate(cfg.candidate_limit);
+
+        // Impact evaluation (Fig. 6).
+        let mut scored: Vec<(NodeId, i64, f32)> = positives
+            .iter()
+            .map(|&(v, p)| {
+                let impact = evaluate_impact(
+                    net, &scoap, &tensors, normalizer, &raw, &probs, &classify, v, cfg,
+                )
+                .unwrap_or(0);
+                (v, impact, p)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+        });
+
+        let mut inserted_now = 0usize;
+        // Nodes whose observability improved due to an insertion committed
+        // *this* round: their predictions are stale, so defer them to the
+        // next iteration's re-inference instead of blindly observing them
+        // (one OP at a cone exit typically fixes the whole cone).
+        let mut stale = vec![false; net.node_count()];
+        for &(target, _, _) in &scored {
+            if inserted_now >= cfg.ops_per_iteration {
+                break;
+            }
+            if scoap.co(target) == 0 || stale[target.index()] {
+                continue;
+            }
+            let op = net.insert_observation_point(target)?;
+            tensors.insert_observation_point(target, op);
+            let changed = scoap.observe(net, target, op);
+            for v in changed {
+                raw[v.index()][3] = squash(scoap.co(v));
+                stale[v.index()] = true;
+            }
+            raw.push(OBSERVATION_POINT_ATTRS);
+            inserted.push(target);
+            inserted_now += 1;
+        }
+        history.push(IterationStats {
+            iteration,
+            positives: remaining,
+            inserted: inserted_now,
+        });
+        if inserted_now == 0 {
+            break; // cannot make progress
+        }
+    }
+
+    // Final positive count if we exited by iteration cap.
+    if !converged {
+        let features = normalizer.apply(&rows_to_matrix(&raw));
+        let probs = classify(&tensors, &features)?;
+        remaining = net
+            .nodes()
+            .filter(|&v| !matches!(net.kind(v), CellKind::Output | CellKind::Dff))
+            .filter(|&v| scoap.co(v) > 0)
+            .filter(|&v| probs[v.index()] >= cfg.prob_threshold)
+            .count();
+        converged = remaining == 0;
+    }
+
+    Ok(FlowOutcome {
+        inserted,
+        converged,
+        remaining_positives: remaining,
+        history,
+    })
+}
+
+/// Impact of a hypothetical OP at `target`: positive predictions in the
+/// fan-in cone before minus after the preview insertion (Fig. 6).
+#[allow(clippy::too_many_arguments)]
+fn evaluate_impact<F>(
+    net: &Netlist,
+    scoap: &Scoap,
+    tensors: &GraphTensors,
+    normalizer: &FeatureNormalizer,
+    raw: &[[f32; RAW_DIM]],
+    probs: &[f32],
+    classify: &F,
+    target: NodeId,
+    cfg: &FlowConfig,
+) -> Result<i64, FlowError>
+where
+    F: Fn(&GraphTensors, &Matrix) -> Result<Vec<f32>, TensorError>,
+{
+    let mut cone = net.fanin_cone(target, cfg.cone_limit);
+    cone.push(target);
+    let pos_before = cone
+        .iter()
+        .filter(|&&v| probs[v.index()] >= cfg.prob_threshold)
+        .count() as i64;
+    if pos_before == 0 {
+        return Ok(0);
+    }
+    // Preview the observability improvement and rerun inference with the
+    // updated attributes.
+    let preview = scoap.preview_observe(net, target);
+    let mut raw2 = raw.to_vec();
+    for &(v, co) in &preview {
+        raw2[v.index()][3] = squash(co);
+    }
+    let features = normalizer.apply(&rows_to_matrix(&raw2));
+    let probs_after = classify(tensors, &features)?;
+    let pos_after = cone
+        .iter()
+        .filter(|&&v| probs_after[v.index()] >= cfg.prob_threshold)
+        .count() as i64;
+    Ok(pos_before - pos_after)
+}
+
+fn rows_to_matrix(rows: &[[f32; RAW_DIM]]) -> Matrix {
+    let mut data = Vec::with_capacity(rows.len() * RAW_DIM);
+    for r in rows {
+        data.extend_from_slice(r);
+    }
+    Matrix::from_vec(rows.len(), RAW_DIM, data).expect("row-major data is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnt_netlist::{generate, GeneratorConfig};
+
+    fn shadowed_design(seed: u64) -> Netlist {
+        let mut cfg = GeneratorConfig::sized("flow", seed, 900);
+        cfg.shadow_regions = 3;
+        generate(&cfg)
+    }
+
+    /// An "oracle" classifier that flags exactly the nodes whose squashed
+    /// observability exceeds a threshold — lets us test flow mechanics
+    /// without training a model.
+    fn oracle(threshold: f32) -> impl Fn(&GraphTensors, &Matrix) -> Result<Vec<f32>, TensorError> {
+        move |_t, features| {
+            Ok((0..features.rows())
+                .map(|r| {
+                    // Column 3 is normalised observability; high = hard.
+                    if features.get(r, 3) > threshold {
+                        0.9
+                    } else {
+                        0.1
+                    }
+                })
+                .collect())
+        }
+    }
+
+    #[test]
+    fn flow_converges_on_shadowed_design() {
+        let mut net = shadowed_design(91);
+        let raw = gcnt_core::features::raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let cfg = FlowConfig {
+            max_iterations: 20,
+            ops_per_iteration: 8,
+            candidate_limit: 12,
+            ..Default::default()
+        };
+        let outcome = run_gcn_opi(&mut net, &norm, oracle(2.0), &cfg).unwrap();
+        assert!(outcome.converged, "flow did not converge: {outcome:?}");
+        assert!(!outcome.inserted.is_empty());
+        assert_eq!(outcome.remaining_positives, 0);
+        net.validate().unwrap();
+        // Every inserted node is now directly observable.
+        let scoap = Scoap::compute(&net).unwrap();
+        for &v in &outcome.inserted {
+            assert_eq!(scoap.co(v), 0);
+        }
+    }
+
+    #[test]
+    fn flow_inserts_nothing_when_classifier_is_silent() {
+        let mut net = shadowed_design(92);
+        let raw = gcnt_core::features::raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let silent = |_t: &GraphTensors, f: &Matrix| Ok(vec![0.0; f.rows()]);
+        let outcome = run_gcn_opi(&mut net, &norm, silent, &FlowConfig::default()).unwrap();
+        assert!(outcome.converged);
+        assert!(outcome.inserted.is_empty());
+        assert_eq!(outcome.history.len(), 1);
+    }
+
+    #[test]
+    fn impact_ranking_prefers_cone_covering_nodes() {
+        // A chain of hard nodes: observing the chain *end* fixes the whole
+        // cone, so the flow should need far fewer OPs than there are
+        // positives.
+        let mut net = shadowed_design(93);
+        let raw = gcnt_core::features::raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        // Count initial positives under the oracle.
+        let features = norm.apply(&raw);
+        let initial_positive = (0..features.rows())
+            .filter(|&r| features.get(r, 3) > 2.0)
+            .count();
+        let cfg = FlowConfig {
+            max_iterations: 20,
+            ops_per_iteration: 4,
+            candidate_limit: 16,
+            ..Default::default()
+        };
+        let outcome = run_gcn_opi(&mut net, &norm, oracle(2.0), &cfg).unwrap();
+        assert!(outcome.converged);
+        assert!(
+            outcome.inserted.len() < initial_positive,
+            "impact ranking should cover multiple positives per OP: {} OPs for {} positives",
+            outcome.inserted.len(),
+            initial_positive
+        );
+    }
+
+    #[test]
+    fn history_is_monotone_progress() {
+        let mut net = shadowed_design(94);
+        let raw = gcnt_core::features::raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let outcome = run_gcn_opi(&mut net, &norm, oracle(2.0), &FlowConfig::default()).unwrap();
+        // Positives must strictly decrease across iterations until zero.
+        for w in outcome.history.windows(2) {
+            assert!(
+                w[1].positives < w[0].positives,
+                "positives did not decrease: {:?}",
+                outcome.history
+            );
+        }
+    }
+
+    #[test]
+    fn ops_per_iteration_is_respected() {
+        let mut net = shadowed_design(95);
+        let raw = gcnt_core::features::raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let cfg = FlowConfig {
+            max_iterations: 1,
+            ops_per_iteration: 2,
+            candidate_limit: 8,
+            ..Default::default()
+        };
+        let outcome = run_gcn_opi(&mut net, &norm, oracle(2.0), &cfg).unwrap();
+        assert!(
+            outcome.inserted.len() <= 2,
+            "{} inserted",
+            outcome.inserted.len()
+        );
+        assert_eq!(outcome.history.len(), 1);
+    }
+
+    #[test]
+    fn flow_error_display() {
+        let e = FlowError::Netlist(NetlistError::UnknownNode(NodeId::from_index(3)));
+        assert!(e.to_string().contains("netlist error"));
+        let e = FlowError::Tensor(TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        });
+        assert!(e.to_string().contains("tensor error"));
+    }
+}

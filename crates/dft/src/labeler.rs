@@ -1,0 +1,285 @@
+//! Difficult-to-observe node labeling.
+//!
+//! The paper obtains its binary node labels "from commercial DFT tools"
+//! (§3.1). Such tools flag nodes whose fault effects rarely reach an
+//! observable point under random patterns — exactly what
+//! [`label_difficult_to_observe`] measures with parallel-pattern
+//! simulation plus critical path tracing: a node is *difficult to observe*
+//! if the fraction of random patterns under which a flip of the node would
+//! be visible at a scan cell or primary output falls below a threshold.
+//!
+//! A SCOAP-percentile labeler is also provided as a fast, deterministic
+//! alternative; note that SCOAP observability is one of the model's input
+//! features, so training against SCOAP-derived labels is a much easier
+//! (and less interesting) task.
+
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use gcnt_netlist::{CellKind, Netlist, Result, Scoap};
+
+use crate::cpt::sensitivity;
+use crate::sim::PatternSim;
+
+/// Configuration of the random-pattern observability labeler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelConfig {
+    /// Number of random patterns to simulate (rounded up to a multiple of
+    /// 64).
+    pub patterns: usize,
+    /// A node is labeled difficult-to-observe if its estimated
+    /// observability (fraction of patterns under which it is observable)
+    /// is *below* this threshold.
+    pub threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LabelConfig {
+    fn default() -> Self {
+        LabelConfig {
+            patterns: 8192,
+            threshold: 0.0005,
+            seed: 0xDF7,
+        }
+    }
+}
+
+/// Result of the labeling pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelResult {
+    /// Per-node labels: 1 = difficult-to-observe.
+    pub labels: Vec<u8>,
+    /// Estimated per-node random-pattern observability in `[0, 1]`.
+    pub observability: Vec<f64>,
+    /// Patterns actually simulated.
+    pub patterns: usize,
+}
+
+impl LabelResult {
+    /// Number of positive (difficult-to-observe) nodes.
+    pub fn positive_count(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == 1).count()
+    }
+}
+
+/// Labels every node by random-pattern observability estimation.
+///
+/// `Output` cells and scan flip-flops are never labeled positive — they
+/// *are* observe points.
+///
+/// # Errors
+///
+/// Returns a netlist error if the design has a combinational cycle.
+///
+/// # Examples
+///
+/// ```
+/// use gcnt_dft::labeler::{label_difficult_to_observe, LabelConfig};
+/// use gcnt_netlist::{generate, GeneratorConfig};
+///
+/// let net = generate(&GeneratorConfig::sized("l", 5, 600));
+/// let result = label_difficult_to_observe(&net, &LabelConfig::default())?;
+/// assert!(result.positive_count() < net.node_count() / 10);
+/// # Ok::<(), gcnt_netlist::NetlistError>(())
+/// ```
+pub fn label_difficult_to_observe(net: &Netlist, cfg: &LabelConfig) -> Result<LabelResult> {
+    let sim = PatternSim::new(net)?;
+    let batches = cfg.patterns.div_ceil(64).max(1);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut observed = vec![0u64; net.node_count()];
+    for _ in 0..batches {
+        let values = sim.simulate_random(&mut rng);
+        let sens = sensitivity(&sim, &values);
+        for (o, s) in observed.iter_mut().zip(&sens) {
+            *o += s.count_ones() as u64;
+        }
+    }
+    let total = (batches * 64) as f64;
+    let observability: Vec<f64> = observed.iter().map(|&o| o as f64 / total).collect();
+    let labels: Vec<u8> = net
+        .nodes()
+        .map(|v| {
+            let kind = net.kind(v);
+            if kind == CellKind::Output || kind == CellKind::Dff {
+                return 0;
+            }
+            u8::from(observability[v.index()] < cfg.threshold)
+        })
+        .collect();
+    Ok(LabelResult {
+        labels,
+        observability,
+        patterns: batches * 64,
+    })
+}
+
+/// Labels the worst `fraction` of nodes by SCOAP observability (e.g.
+/// `0.006` labels the least observable 0.6%).
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= fraction <= 1.0`.
+pub fn label_by_scoap(net: &Netlist, scoap: &Scoap, fraction: f64) -> Vec<u8> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+    let mut cos: Vec<u32> = net
+        .nodes()
+        .filter(|&v| !matches!(net.kind(v), CellKind::Output | CellKind::Dff))
+        .map(|v| scoap.co(v))
+        .collect();
+    if cos.is_empty() {
+        return vec![0; net.node_count()];
+    }
+    cos.sort_unstable();
+    let rank = ((cos.len() as f64) * (1.0 - fraction)) as usize;
+    let threshold = cos[rank.min(cos.len() - 1)].max(1);
+    net.nodes()
+        .map(|v| {
+            if matches!(net.kind(v), CellKind::Output | CellKind::Dff) {
+                0
+            } else {
+                u8::from(scoap.co(v) >= threshold)
+            }
+        })
+        .collect()
+}
+
+/// Labels nodes whose *COP* (analytic, probability-based) observability
+/// falls below a threshold — a one-pass O(E) approximation of
+/// [`label_difficult_to_observe`] that needs no simulation. Exact on
+/// fanout-free logic; approximate through reconvergence.
+pub fn label_by_cop(net: &Netlist, threshold: f64) -> Result<Vec<u8>> {
+    let cop = gcnt_netlist::Cop::compute(net)?;
+    Ok(net
+        .nodes()
+        .map(|v| {
+            if matches!(net.kind(v), CellKind::Output | CellKind::Dff) {
+                0
+            } else {
+                u8::from(cop.observability(v) < threshold)
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnt_netlist::{generate, GeneratorConfig, NodeId};
+
+    #[test]
+    fn shadowed_nodes_are_positive() {
+        // Hand-build a shadow: chain hidden behind a wide AND gate.
+        let mut net = Netlist::new("shadow");
+        let src = net.add_cell(CellKind::Input);
+        let mut chain = src;
+        let mut hidden = Vec::new();
+        for _ in 0..3 {
+            let g = net.add_cell(CellKind::Not);
+            net.connect(chain, g).unwrap();
+            hidden.push(g);
+            chain = g;
+        }
+        // Gating AND over 14 fresh inputs: open with prob 2^-14.
+        let mut gate_in: Vec<NodeId> = (0..14).map(|_| net.add_cell(CellKind::Input)).collect();
+        while gate_in.len() > 1 {
+            let g = net.add_cell(CellKind::And);
+            let a = gate_in.pop().unwrap();
+            let b = gate_in.pop().unwrap();
+            net.connect(a, g).unwrap();
+            net.connect(b, g).unwrap();
+            gate_in.insert(0, g);
+        }
+        let exit = net.add_cell(CellKind::And);
+        net.connect(chain, exit).unwrap();
+        net.connect(gate_in[0], exit).unwrap();
+        let o = net.add_cell(CellKind::Output);
+        net.connect(exit, o).unwrap();
+
+        let cfg = LabelConfig {
+            patterns: 2048,
+            threshold: 0.01,
+            seed: 1,
+        };
+        let result = label_difficult_to_observe(&net, &cfg).unwrap();
+        for &h in &hidden {
+            assert_eq!(result.labels[h.index()], 1, "hidden node {h} not positive");
+            assert!(result.observability[h.index()] < 0.01);
+        }
+        // The exit gate drives a PO directly: easy to observe.
+        assert_eq!(result.labels[exit.index()], 0);
+    }
+
+    #[test]
+    fn generated_designs_have_small_positive_rate() {
+        let net = generate(&GeneratorConfig::sized("rate", 13, 3_000));
+        let result = label_difficult_to_observe(&net, &LabelConfig::default()).unwrap();
+        let rate = result.positive_count() as f64 / net.node_count() as f64;
+        // The paper's designs sit near 0.6%; the generator aims for the
+        // same ballpark (well under 5%, above zero).
+        assert!(rate > 0.0, "no positives at all");
+        assert!(rate < 0.05, "positive rate {rate} too high");
+    }
+
+    #[test]
+    fn outputs_and_dffs_never_positive() {
+        let net = generate(&GeneratorConfig::sized("od", 19, 1_000));
+        let result = label_difficult_to_observe(&net, &LabelConfig::default()).unwrap();
+        for v in net.nodes() {
+            if matches!(net.kind(v), CellKind::Output | CellKind::Dff) {
+                assert_eq!(result.labels[v.index()], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn labeling_is_deterministic() {
+        let net = generate(&GeneratorConfig::sized("det", 23, 800));
+        let cfg = LabelConfig::default();
+        let a = label_difficult_to_observe(&net, &cfg).unwrap();
+        let b = label_difficult_to_observe(&net, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scoap_labeler_hits_requested_fraction() {
+        let net = generate(&GeneratorConfig::sized("sc", 29, 2_000));
+        let scoap = Scoap::compute(&net).unwrap();
+        let labels = label_by_scoap(&net, &scoap, 0.02);
+        let rate = labels.iter().filter(|&&l| l == 1).count() as f64 / net.node_count() as f64;
+        assert!(rate > 0.001 && rate < 0.1, "rate {rate}");
+    }
+
+    #[test]
+    fn cop_labeler_agrees_with_simulation_on_most_nodes() {
+        let net = generate(&GeneratorConfig::sized("cop", 37, 2_000));
+        let sim_based = label_difficult_to_observe(&net, &LabelConfig::default()).unwrap();
+        let cop_based = label_by_cop(&net, 0.0005).unwrap();
+        let agree = sim_based
+            .labels
+            .iter()
+            .zip(&cop_based)
+            .filter(|(a, b)| a == b)
+            .count();
+        let rate = agree as f64 / net.node_count() as f64;
+        assert!(rate > 0.95, "agreement {rate}");
+        // And it must find at least some of the same hard nodes.
+        let both = sim_based
+            .labels
+            .iter()
+            .zip(&cop_based)
+            .filter(|&(&a, &b)| a == 1 && b == 1)
+            .count();
+        assert!(both > 0, "no overlap between labelers");
+    }
+
+    #[test]
+    fn label_result_counts() {
+        let r = LabelResult {
+            labels: vec![0, 1, 1, 0],
+            observability: vec![1.0, 0.0, 0.0, 0.5],
+            patterns: 64,
+        };
+        assert_eq!(r.positive_count(), 2);
+    }
+}

@@ -1,0 +1,327 @@
+//! COP — probability-based testability analysis (Brglez, ISCAS 1984).
+//!
+//! Where SCOAP counts *assignments*, COP estimates *probabilities* under
+//! random patterns, assuming signal independence:
+//!
+//! * `p1(v)` — probability that `v` is 1 (controllability),
+//! * `obs(v)` — probability that a change at `v` propagates to an
+//!   observable point (observability).
+//!
+//! COP is the analytic counterpart of the simulation-based estimates in
+//! `gcnt-dft` (signal probabilities / critical path tracing): one O(E)
+//! pass instead of thousands of simulated patterns, at the cost of the
+//! independence assumption, which over- or under-estimates through
+//! reconvergent fanout. Commercial testability tools use COP-style
+//! measures to rank random-pattern-resistant nets — the very quantity the
+//! paper's labels encode — so COP scores also make a useful additional
+//! node attribute for model extensions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CellKind, Netlist, NodeId, Result};
+
+/// COP probabilities for every node, indexed by [`NodeId::index`].
+///
+/// # Examples
+///
+/// ```
+/// use gcnt_netlist::{CellKind, Cop, Netlist};
+///
+/// let mut net = Netlist::new("and2");
+/// let a = net.add_cell(CellKind::Input);
+/// let b = net.add_cell(CellKind::Input);
+/// let g = net.add_cell(CellKind::And);
+/// let o = net.add_cell(CellKind::Output);
+/// net.connect(a, g)?;
+/// net.connect(b, g)?;
+/// net.connect(g, o)?;
+/// let cop = Cop::compute(&net)?;
+/// assert!((cop.p1(g) - 0.25).abs() < 1e-6);
+/// assert!((cop.observability(a) - 0.5).abs() < 1e-6); // b must be 1
+/// # Ok::<(), gcnt_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cop {
+    p1: Vec<f64>,
+    obs: Vec<f64>,
+}
+
+impl Cop {
+    /// Computes COP probabilities: controllability forward, observability
+    /// backward, both in one topological sweep each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NetlistError::CombinationalCycle`] if the netlist
+    /// has a combinational cycle.
+    pub fn compute(net: &Netlist) -> Result<Self> {
+        let order = net.topo_order()?;
+        let n = net.node_count();
+        let mut p1 = vec![0.0f64; n];
+        for &id in &order {
+            p1[id.index()] = signal_probability(net, id, &p1);
+        }
+        let mut obs = vec![0.0f64; n];
+        // Observable sinks.
+        for id in net.nodes() {
+            match net.kind(id) {
+                CellKind::Output => obs[id.index()] = 1.0,
+                CellKind::Dff => {
+                    // D input observed through the scan chain.
+                    if let Some(&d) = net.fanin(id).first() {
+                        obs[d.index()] = 1.0;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for &u in order.iter().rev() {
+            let kind = net.kind(u);
+            if kind == CellKind::Input || kind == CellKind::Dff {
+                continue;
+            }
+            let ou = obs[u.index()];
+            if ou == 0.0 {
+                continue;
+            }
+            propagate_observability(net, u, kind, ou, &p1, &mut obs);
+        }
+        Ok(Cop { p1, obs })
+    }
+
+    /// Probability that node `v` is 1 under random patterns.
+    pub fn p1(&self, v: NodeId) -> f64 {
+        self.p1[v.index()]
+    }
+
+    /// Probability that a change at `v` reaches an observable point.
+    pub fn observability(&self, v: NodeId) -> f64 {
+        self.obs[v.index()]
+    }
+
+    /// All signal probabilities, indexed by node index.
+    pub fn p1_all(&self) -> &[f64] {
+        &self.p1
+    }
+
+    /// All observabilities, indexed by node index.
+    pub fn observability_all(&self) -> &[f64] {
+        &self.obs
+    }
+
+    /// COP detectability of a stuck-at fault at `v`'s output:
+    /// `P(excite) * P(propagate)` — the classic random-pattern test
+    /// probability estimate.
+    pub fn detectability(&self, v: NodeId, stuck_at: bool) -> f64 {
+        let excite = if stuck_at {
+            1.0 - self.p1[v.index()]
+        } else {
+            self.p1[v.index()]
+        };
+        excite * self.obs[v.index()]
+    }
+}
+
+fn signal_probability(net: &Netlist, id: NodeId, p1: &[f64]) -> f64 {
+    let fanin = net.fanin(id);
+    let p = |v: &NodeId| p1[v.index()];
+    match net.kind(id) {
+        CellKind::Input | CellKind::Dff => 0.5,
+        CellKind::Output | CellKind::Buf => fanin.first().map_or(0.5, p),
+        CellKind::Not => 1.0 - fanin.first().map_or(0.5, p),
+        CellKind::And => fanin.iter().map(p).product(),
+        CellKind::Nand => 1.0 - fanin.iter().map(p).product::<f64>(),
+        CellKind::Or => 1.0 - fanin.iter().map(|v| 1.0 - p(v)).product::<f64>(),
+        CellKind::Nor => fanin.iter().map(|v| 1.0 - p(v)).product(),
+        CellKind::Xor | CellKind::Xnor => {
+            // P(odd parity) via the product identity
+            // 1 - 2*P(odd) = prod(1 - 2*p_i).
+            let prod: f64 = fanin.iter().map(|v| 1.0 - 2.0 * p(v)).product();
+            let odd = 0.5 * (1.0 - prod);
+            if net.kind(id) == CellKind::Xor {
+                odd
+            } else {
+                1.0 - odd
+            }
+        }
+    }
+}
+
+fn propagate_observability(
+    net: &Netlist,
+    u: NodeId,
+    kind: CellKind,
+    ou: f64,
+    p1: &[f64],
+    obs: &mut [f64],
+) {
+    let fanin = net.fanin(u);
+    // OR-combine across fanout branches: obs(v) = 1 - prod(1 - branch).
+    let mut bump = |v: NodeId, branch: f64| {
+        let cur = obs[v.index()];
+        obs[v.index()] = 1.0 - (1.0 - cur) * (1.0 - branch.clamp(0.0, 1.0));
+    };
+    match kind {
+        CellKind::Output | CellKind::Buf | CellKind::Not => {
+            if let Some(&v) = fanin.first() {
+                bump(v, ou);
+            }
+        }
+        CellKind::Xor | CellKind::Xnor => {
+            for &v in fanin {
+                bump(v, ou); // XOR always propagates
+            }
+        }
+        CellKind::And | CellKind::Nand | CellKind::Or | CellKind::Nor => {
+            let non_controlling = |w: &NodeId| {
+                if matches!(kind, CellKind::And | CellKind::Nand) {
+                    p1[w.index()]
+                } else {
+                    1.0 - p1[w.index()]
+                }
+            };
+            for (i, &v) in fanin.iter().enumerate() {
+                let side: f64 = fanin
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, w)| non_controlling(w))
+                    .product();
+                bump(v, ou * side);
+            }
+        }
+        CellKind::Input | CellKind::Dff => unreachable!("handled by caller"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_gate_probabilities() {
+        let mut net = Netlist::new("and2");
+        let a = net.add_cell(CellKind::Input);
+        let b = net.add_cell(CellKind::Input);
+        let g = net.add_cell(CellKind::And);
+        let o = net.add_cell(CellKind::Output);
+        net.connect(a, g).unwrap();
+        net.connect(b, g).unwrap();
+        net.connect(g, o).unwrap();
+        let cop = Cop::compute(&net).unwrap();
+        assert!((cop.p1(g) - 0.25).abs() < 1e-9);
+        assert!((cop.observability(g) - 1.0).abs() < 1e-9);
+        assert!((cop.observability(a) - 0.5).abs() < 1e-9);
+        assert!((cop.detectability(g, true) - 0.75).abs() < 1e-9);
+        assert!((cop.detectability(g, false) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xor_parity_identity() {
+        let mut net = Netlist::new("xor3");
+        let ins: Vec<_> = (0..3).map(|_| net.add_cell(CellKind::Input)).collect();
+        let g = net.add_cell(CellKind::Xor);
+        let o = net.add_cell(CellKind::Output);
+        for &i in &ins {
+            net.connect(i, g).unwrap();
+        }
+        net.connect(g, o).unwrap();
+        let cop = Cop::compute(&net).unwrap();
+        assert!((cop.p1(g) - 0.5).abs() < 1e-9);
+        // XOR propagates unconditionally.
+        assert!((cop.observability(ins[0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_and_cascade_probability_decays() {
+        let mut net = Netlist::new("cascade");
+        let mut cur = net.add_cell(CellKind::Input);
+        for _ in 0..10 {
+            let side = net.add_cell(CellKind::Input);
+            let g = net.add_cell(CellKind::And);
+            net.connect(cur, g).unwrap();
+            net.connect(side, g).unwrap();
+            cur = g;
+        }
+        let o = net.add_cell(CellKind::Output);
+        net.connect(cur, o).unwrap();
+        let cop = Cop::compute(&net).unwrap();
+        // p1 of the cascade output is 2^-11.
+        assert!((cop.p1(cur) - 2f64.powi(-11)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cop_matches_simulation_on_fanout_free_logic() {
+        // Independence holds exactly without reconvergence, so COP must
+        // match exhaustive enumeration on a small tree.
+        let mut net = Netlist::new("tree");
+        let ins: Vec<_> = (0..4).map(|_| net.add_cell(CellKind::Input)).collect();
+        let g1 = net.add_cell(CellKind::And);
+        let g2 = net.add_cell(CellKind::Or);
+        let g3 = net.add_cell(CellKind::Nand);
+        let o = net.add_cell(CellKind::Output);
+        net.connect(ins[0], g1).unwrap();
+        net.connect(ins[1], g1).unwrap();
+        net.connect(ins[2], g2).unwrap();
+        net.connect(ins[3], g2).unwrap();
+        net.connect(g1, g3).unwrap();
+        net.connect(g2, g3).unwrap();
+        net.connect(g3, o).unwrap();
+        let cop = Cop::compute(&net).unwrap();
+        // Exhaustive truth table: g3 = !(a&b & (c|d)).
+        let mut ones = 0;
+        for bits in 0..16u32 {
+            let v = |i: usize| bits & (1 << i) != 0;
+            let g1v = v(0) && v(1);
+            let g2v = v(2) || v(3);
+            if !(g1v && g2v) {
+                ones += 1;
+            }
+        }
+        let expected = ones as f64 / 16.0;
+        assert!(
+            (cop.p1(g3) - expected).abs() < 1e-9,
+            "cop {} vs exact {}",
+            cop.p1(g3),
+            expected
+        );
+    }
+
+    #[test]
+    fn dff_is_observable_and_half_probable() {
+        let mut net = Netlist::new("scan");
+        let a = net.add_cell(CellKind::Input);
+        let g = net.add_cell(CellKind::Not);
+        let d = net.add_cell(CellKind::Dff);
+        net.connect(a, g).unwrap();
+        net.connect(g, d).unwrap();
+        let cop = Cop::compute(&net).unwrap();
+        assert_eq!(cop.p1(d), 0.5);
+        assert!((cop.observability(g) - 1.0).abs() < 1e-9);
+        assert!((cop.observability(a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unobservable_node_scores_zero() {
+        let mut net = Netlist::new("dangling");
+        let a = net.add_cell(CellKind::Input);
+        let g = net.add_cell(CellKind::Not);
+        net.connect(a, g).unwrap();
+        let cop = Cop::compute(&net).unwrap();
+        assert_eq!(cop.observability(g), 0.0);
+        assert_eq!(cop.detectability(g, false), 0.0);
+    }
+
+    #[test]
+    fn cop_correlates_with_simulated_observability() {
+        use crate::{generate, GeneratorConfig};
+        let net = generate(&GeneratorConfig::sized("corr", 11, 800));
+        let cop = Cop::compute(&net).unwrap();
+        // Rank correlation sanity: the node COP ranks least observable
+        // should be far below the median COP observability.
+        let mut obs: Vec<f64> = net.nodes().map(|v| cop.observability(v)).collect();
+        obs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let median = obs[obs.len() / 2];
+        assert!(obs[0] < median, "no observability spread");
+    }
+}

@@ -1,0 +1,93 @@
+use std::fmt;
+
+use crate::{CellKind, NodeId};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;
+
+/// Errors produced while building, validating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A cell has a fanin count outside its arity bounds.
+    BadArity {
+        /// The offending node.
+        node: NodeId,
+        /// Its cell kind.
+        kind: CellKind,
+        /// Number of fanins it actually has.
+        fanins: usize,
+    },
+    /// An edge would make the combinational logic cyclic.
+    CombinationalCycle {
+        /// A node that participates in the cycle.
+        node: NodeId,
+    },
+    /// An edge was added twice between the same pair of nodes.
+    DuplicateEdge {
+        /// Driving node.
+        from: NodeId,
+        /// Driven node.
+        to: NodeId,
+    },
+    /// An `Output` cell may not drive anything.
+    OutputHasFanout(NodeId),
+    /// The text format could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetlistError::BadArity { node, kind, fanins } => write!(
+                f,
+                "node {node} of kind {kind} has {fanins} fanins, outside its arity bounds"
+            ),
+            NetlistError::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through node {node}")
+            }
+            NetlistError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from} -> {to}")
+            }
+            NetlistError::OutputHasFanout(n) => {
+                write!(f, "output cell {n} must not drive other cells")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetlistError::BadArity {
+            node: NodeId::from_index(7),
+            kind: CellKind::Not,
+            fanins: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("n7"));
+        assert!(msg.contains("not"));
+        assert!(msg.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,93 @@
+use crate::{Netlist, Result};
+
+/// Computes the logic level `LL` of every node: primary inputs and scan
+/// flip-flops are level 0, every other cell is one more than the maximum
+/// level of its fanins.
+///
+/// This is the first component of the paper's node attribute vector
+/// `[LL, C0, C1, O]` (§3.1). The result is indexed by `NodeId::index()`.
+///
+/// # Errors
+///
+/// Returns [`crate::NetlistError::CombinationalCycle`] if the netlist has a
+/// combinational cycle.
+///
+/// # Examples
+///
+/// ```
+/// use gcnt_netlist::{logic_levels, CellKind, Netlist};
+///
+/// let mut net = Netlist::new("chain");
+/// let a = net.add_cell(CellKind::Input);
+/// let g = net.add_cell(CellKind::Not);
+/// let o = net.add_cell(CellKind::Output);
+/// net.connect(a, g)?;
+/// net.connect(g, o)?;
+/// let levels = logic_levels(&net)?;
+/// assert_eq!(levels, vec![0, 1, 2]);
+/// # Ok::<(), gcnt_netlist::NetlistError>(())
+/// ```
+pub fn logic_levels(net: &Netlist) -> Result<Vec<u32>> {
+    let order = net.topo_order()?;
+    let mut levels = vec![0u32; net.node_count()];
+    for id in order {
+        if net.kind(id).is_pseudo_input() {
+            levels[id.index()] = 0;
+            continue;
+        }
+        let max_in = net
+            .fanin(id)
+            .iter()
+            .map(|&f| levels[f.index()])
+            .max()
+            .unwrap_or(0);
+        levels[id.index()] = max_in + 1;
+    }
+    Ok(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellKind;
+
+    #[test]
+    fn diamond_takes_max() {
+        // a -> b -> d, a -> c -> e -> d  => level(d) = 3
+        let mut net = Netlist::new("diamond");
+        let a = net.add_cell(CellKind::Input);
+        let b = net.add_cell(CellKind::Buf);
+        let c = net.add_cell(CellKind::Buf);
+        let e = net.add_cell(CellKind::Buf);
+        let d = net.add_cell(CellKind::And);
+        net.connect(a, b).unwrap();
+        net.connect(a, c).unwrap();
+        net.connect(c, e).unwrap();
+        net.connect(b, d).unwrap();
+        net.connect(e, d).unwrap();
+        let levels = logic_levels(&net).unwrap();
+        assert_eq!(levels[d.index()], 3);
+    }
+
+    #[test]
+    fn dff_resets_level() {
+        let mut net = Netlist::new("seq");
+        let a = net.add_cell(CellKind::Input);
+        let g = net.add_cell(CellKind::Not);
+        let d = net.add_cell(CellKind::Dff);
+        let h = net.add_cell(CellKind::Not);
+        net.connect(a, g).unwrap();
+        net.connect(g, d).unwrap();
+        net.connect(d, h).unwrap();
+        let levels = logic_levels(&net).unwrap();
+        assert_eq!(levels[g.index()], 1);
+        assert_eq!(levels[d.index()], 0);
+        assert_eq!(levels[h.index()], 1);
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let net = Netlist::new("empty");
+        assert!(logic_levels(&net).unwrap().is_empty());
+    }
+}

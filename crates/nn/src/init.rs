@@ -1,0 +1,60 @@
+use rand::Rng as _;
+
+use gcnt_tensor::Matrix;
+
+use crate::Rng;
+
+/// Xavier/Glorot uniform initialisation: samples a `fan_in x fan_out`
+/// matrix from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Keeps activation variance roughly constant across layers, which matters
+/// for the deeper aggregate/encode stacks (`D = 3` plus 4 FC layers).
+///
+/// # Examples
+///
+/// ```
+/// use gcnt_nn::{seeded_rng, xavier_uniform};
+///
+/// let mut rng = seeded_rng(1);
+/// let w = xavier_uniform(4, 32, &mut rng);
+/// assert_eq!(w.shape(), (4, 32));
+/// let bound = (6.0f32 / 36.0).sqrt();
+/// assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+/// ```
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-a..=a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = xavier_uniform(8, 8, &mut seeded_rng(5));
+        let b = xavier_uniform(8, 8, &mut seeded_rng(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = xavier_uniform(8, 8, &mut seeded_rng(5));
+        let b = xavier_uniform(8, 8, &mut seeded_rng(6));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn values_within_bound() {
+        let w = xavier_uniform(10, 20, &mut seeded_rng(7));
+        let bound = (6.0f32 / 30.0).sqrt() + 1e-6;
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn not_all_zero() {
+        let w = xavier_uniform(10, 10, &mut seeded_rng(9));
+        assert!(w.as_slice().iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,290 @@
+use serde::{Deserialize, Serialize};
+
+/// Plain SGD configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (`0.0` disables momentum).
+    pub momentum: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+        }
+    }
+}
+
+/// Adam configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Choice of optimisation algorithm.
+///
+/// The paper uses stochastic gradient descent (§5); Adam is provided for
+/// the ablation benches and the classical baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerConfig {
+    /// Stochastic gradient descent with optional momentum.
+    Sgd(SgdConfig),
+    /// Adam.
+    Adam(AdamConfig),
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig::Sgd(SgdConfig::default())
+    }
+}
+
+/// Optimiser state for one flat parameter slice.
+///
+/// # Examples
+///
+/// ```
+/// use gcnt_nn::{OptimizerConfig, ParamOptimizer, SgdConfig};
+///
+/// let cfg = OptimizerConfig::Sgd(SgdConfig { lr: 0.5, momentum: 0.0 });
+/// let mut opt = ParamOptimizer::new(cfg, 2);
+/// let mut param = [1.0f32, -1.0];
+/// opt.step(&mut param, &[1.0, 1.0]);
+/// assert_eq!(param, [0.5, -1.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamOptimizer {
+    cfg: OptimizerConfig,
+    velocity: Vec<f32>,
+    second: Vec<f32>,
+    t: u32,
+}
+
+impl ParamOptimizer {
+    /// Creates optimiser state for a parameter of `len` elements.
+    pub fn new(cfg: OptimizerConfig, len: usize) -> Self {
+        let second = match cfg {
+            OptimizerConfig::Adam(_) => vec![0.0; len],
+            OptimizerConfig::Sgd(_) => Vec::new(),
+        };
+        ParamOptimizer {
+            cfg,
+            velocity: vec![0.0; len],
+            second,
+            t: 0,
+        }
+    }
+
+    /// Applies one update step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` / `grad` lengths differ from the state length.
+    pub fn step(&mut self, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), self.velocity.len(), "param length");
+        assert_eq!(grad.len(), self.velocity.len(), "grad length");
+        match self.cfg {
+            OptimizerConfig::Sgd(SgdConfig { lr, momentum }) => {
+                if momentum == 0.0 {
+                    for (p, &g) in param.iter_mut().zip(grad) {
+                        *p -= lr * g;
+                    }
+                } else {
+                    for ((p, v), &g) in param.iter_mut().zip(&mut self.velocity).zip(grad) {
+                        *v = momentum * *v + g;
+                        *p -= lr * *v;
+                    }
+                }
+            }
+            OptimizerConfig::Adam(AdamConfig {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            }) => {
+                self.t += 1;
+                let bc1 = 1.0 - beta1.powi(self.t as i32);
+                let bc2 = 1.0 - beta2.powi(self.t as i32);
+                for ((p, (m, v)), &g) in param
+                    .iter_mut()
+                    .zip(self.velocity.iter_mut().zip(&mut self.second))
+                    .zip(grad)
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    let m_hat = *m / bc1;
+                    let v_hat = *v / bc2;
+                    *p -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+    }
+}
+
+/// A bank of [`ParamOptimizer`]s covering every parameter of a model, in a
+/// fixed order (e.g. the order of `Mlp::params_mut`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelOptimizer {
+    params: Vec<ParamOptimizer>,
+}
+
+impl ModelOptimizer {
+    /// Creates one optimiser per parameter slice length.
+    pub fn new(cfg: OptimizerConfig, lens: impl IntoIterator<Item = usize>) -> Self {
+        ModelOptimizer {
+            params: lens
+                .into_iter()
+                .map(|len| ParamOptimizer::new(cfg, len))
+                .collect(),
+        }
+    }
+
+    /// Steps every parameter with its gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number or lengths of slices differ from construction.
+    pub fn step(&mut self, params: Vec<&mut [f32]>, grads: Vec<&[f32]>) {
+        assert_eq!(params.len(), self.params.len(), "parameter count");
+        assert_eq!(grads.len(), self.params.len(), "gradient count");
+        for ((opt, p), g) in self.params.iter_mut().zip(params).zip(grads) {
+            opt.step(p, g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_without_momentum() {
+        let mut opt = ParamOptimizer::new(
+            OptimizerConfig::Sgd(SgdConfig {
+                lr: 0.1,
+                momentum: 0.0,
+            }),
+            1,
+        );
+        let mut p = [1.0f32];
+        opt.step(&mut p, &[2.0]);
+        assert!((p[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let cfg = OptimizerConfig::Sgd(SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+        });
+        let mut opt = ParamOptimizer::new(cfg, 1);
+        let mut p = [0.0f32];
+        opt.step(&mut p, &[1.0]);
+        let first = -p[0];
+        opt.step(&mut p, &[1.0]);
+        let second = -p[0] - first;
+        assert!(second > first, "momentum should grow the step");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimise f(x) = (x - 3)^2 with gradient 2(x - 3).
+        let mut opt = ParamOptimizer::new(
+            OptimizerConfig::Adam(AdamConfig {
+                lr: 0.1,
+                ..AdamConfig::default()
+            }),
+            1,
+        );
+        let mut p = [0.0f32];
+        for _ in 0..500 {
+            let g = 2.0 * (p[0] - 3.0);
+            opt.step(&mut p, &[g]);
+        }
+        assert!((p[0] - 3.0).abs() < 0.05, "x = {}", p[0]);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = ParamOptimizer::new(OptimizerConfig::default(), 1);
+        let mut p = [10.0f32];
+        for _ in 0..200 {
+            let g = 2.0 * (p[0] - 3.0);
+            opt.step(&mut p, &[g]);
+        }
+        assert!((p[0] - 3.0).abs() < 0.05, "x = {}", p[0]);
+    }
+
+    #[test]
+    fn model_optimizer_steps_all() {
+        let cfg = OptimizerConfig::Sgd(SgdConfig {
+            lr: 1.0,
+            momentum: 0.0,
+        });
+        let mut opt = ModelOptimizer::new(cfg, [2, 1]);
+        let mut a = [1.0f32, 2.0];
+        let mut b = [3.0f32];
+        opt.step(vec![&mut a, &mut b], vec![&[1.0, 1.0], &[1.0]]);
+        assert_eq!(a, [0.0, 1.0]);
+        assert_eq!(b, [2.0]);
+    }
+
+    #[test]
+    fn adam_trains_an_mlp() {
+        use crate::loss::softmax_cross_entropy;
+        use crate::{seeded_rng, Mlp};
+        use gcnt_tensor::Matrix;
+
+        let mut rng = seeded_rng(11);
+        let mut mlp = Mlp::new(&[2, 8, 2], &mut rng);
+        let x =
+            Matrix::from_rows(&[&[-1.0, 0.2], &[-0.6, -0.1], &[0.7, 0.3], &[1.1, -0.2]]).unwrap();
+        let labels = [0usize, 0, 1, 1];
+        let lens: Vec<usize> = mlp.params_mut().iter().map(|s| s.len()).collect();
+        let mut opt = ModelOptimizer::new(
+            OptimizerConfig::Adam(AdamConfig {
+                lr: 0.02,
+                ..AdamConfig::default()
+            }),
+            lens,
+        );
+        let initial = softmax_cross_entropy(&mlp.predict(&x).unwrap(), &labels).0;
+        for _ in 0..150 {
+            let (logits, cache) = mlp.forward(&x).unwrap();
+            let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
+            let (grads, _) = mlp.backward(&cache, &dlogits).unwrap();
+            opt.step(mlp.params_mut(), grads.params());
+        }
+        let final_loss = softmax_cross_entropy(&mlp.predict(&x).unwrap(), &labels).0;
+        assert!(final_loss < initial * 0.2, "loss {initial} -> {final_loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "param length")]
+    fn length_mismatch_panics() {
+        let mut opt = ParamOptimizer::new(OptimizerConfig::default(), 2);
+        let mut p = [0.0f32];
+        opt.step(&mut p, &[1.0]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Scalability demonstration (§3.4.1 / Fig. 10): matrix-form inference on
+//! a large netlist vs recursion-based inference.
+//!
+//! Run with an optional node-count argument (default 100 000; the paper's
+//! headline is ~1.5 s for one million cells):
+//!
+//! ```text
+//! cargo run --release --example scale_inference -- 1000000
+//! ```
+
+use std::time::Instant;
+
+use gcn_testability::gcn::{recursive, Gcn, GcnConfig, GraphData};
+use gcn_testability::netlist::{generate, GeneratorConfig};
+use gcn_testability::nn::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(100_000);
+
+    println!("generating ~{nodes}-node design...");
+    let t0 = Instant::now();
+    let net = generate(&GeneratorConfig::sized("scale", 77, nodes));
+    println!(
+        "  {} nodes, {} edges in {:.2?}",
+        net.node_count(),
+        net.edge_count(),
+        t0.elapsed()
+    );
+
+    let t0 = Instant::now();
+    let data = GraphData::from_netlist(&net, None)?;
+    println!(
+        "  features + sparse tensors in {:.2?} (adjacency sparsity {:.4}%)",
+        t0.elapsed(),
+        data.tensors.sparsity() * 100.0
+    );
+
+    let gcn = Gcn::new(&GcnConfig::default(), &mut seeded_rng(1));
+
+    // Matrix-form inference over the whole graph.
+    let t0 = Instant::now();
+    let logits = gcn.predict(&data.tensors, &data.features)?;
+    let sparse_time = t0.elapsed();
+    println!(
+        "matrix-form inference: {} nodes classified in {:.2?}",
+        logits.rows(),
+        sparse_time
+    );
+
+    // Recursion-based inference on a sample, extrapolated (running it on
+    // the full graph would take hours at scale — that is the point).
+    let sample: Vec<usize> = (0..data.node_count())
+        .step_by((data.node_count() / 200).max(1))
+        .collect();
+    let t0 = Instant::now();
+    let _ = recursive::predict_nodes_unmemoized(&gcn, &data.tensors, &data.features, &sample)?;
+    let per_node = t0.elapsed() / sample.len() as u32;
+    let extrapolated = per_node * data.node_count() as u32;
+    println!(
+        "recursion-based inference ([12]-style, no reuse): {:.2?}/node over {} sampled nodes; \
+         full graph would take ~{:.2?}",
+        per_node,
+        sample.len(),
+        extrapolated
+    );
+    println!(
+        "speedup of the matrix form: ~{:.0}x",
+        extrapolated.as_secs_f64() / sparse_time.as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper at the canonical
+# reproduction scale (see EXPERIMENTS.md). Writes console output to
+# results/*.log and machine-readable data to results/*.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+run() {
+    local name="$1"; shift
+    echo "=== $name: $* ==="
+    cargo run --release -p gcnt-bench --bin "$name" -- "$@" | tee "results/$name.log"
+}
+
+cargo build --release -p gcnt-bench --bins
+
+run table1 --nodes 20000
+run fig8   --nodes 3000 --epochs 300 --eval-every 25
+run fig9   --nodes 3000 --epochs 100
+run table3 --nodes 3000 --epochs 100
+run fig10  --max-nodes 1000000
+run table2 --nodes 6000 --epochs 300
+
+echo "all experiments complete"

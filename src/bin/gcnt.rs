@@ -1,0 +1,330 @@
+//! `gcnt` — command-line front end for the GCN testability flow.
+//!
+//! ```text
+//! gcnt generate --nodes 20000 --seed 7 --out design.bench
+//! gcnt stats    design.bench
+//! gcnt label    design.bench --out labels.json
+//! gcnt train    a.bench b.bench c.bench --model model.json
+//! gcnt infer    design.bench --model model.json
+//! gcnt flow     design.bench --model model.json --out modified.bench
+//! gcnt atpg     design.bench
+//! ```
+//!
+//! Designs are stored in the plain-text `.bench`-style format of
+//! [`gcn_testability::netlist::format`]; models and labels are JSON.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fs;
+use std::process::ExitCode;
+
+use serde::{Deserialize, Serialize};
+
+use gcn_testability::dft::atpg::{run_random_atpg, AtpgConfig};
+use gcn_testability::dft::flow::{run_gcn_opi, FlowConfig};
+use gcn_testability::dft::labeler::{label_difficult_to_observe, LabelConfig};
+use gcn_testability::gcn::features::FeatureNormalizer;
+use gcn_testability::gcn::{GraphData, MultiStageConfig, MultiStageGcn};
+use gcn_testability::netlist::{format, generate, profile, GeneratorConfig, Netlist};
+
+/// A trained model bundle: the cascade plus the feature normaliser it was
+/// trained with (both are required for inductive reuse).
+#[derive(Serialize, Deserialize)]
+struct ModelBundle {
+    normalizer: FeatureNormalizer,
+    model: MultiStageGcn,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    let (positional, options) = split_args(&args[1..]);
+    match command.as_str() {
+        "generate" => cmd_generate(&options),
+        "stats" => cmd_stats(&positional),
+        "label" => cmd_label(&positional, &options),
+        "train" => cmd_train(&positional, &options),
+        "infer" => cmd_infer(&positional, &options),
+        "flow" => cmd_flow(&positional, &options),
+        "atpg" => cmd_atpg(&positional, &options),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown subcommand '{other}'").into())
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "gcnt — GCN-based testability analysis (DAC'19 reproduction)\n\
+         \n\
+         usage:\n\
+         \x20 gcnt generate --nodes N [--seed S] --out design.bench\n\
+         \x20 gcnt stats design.bench\n\
+         \x20 gcnt label design.bench [--patterns N] [--threshold F] [--out labels.json]\n\
+         \x20 gcnt train a.bench [b.bench ...] --model model.json [--epochs N] [--stages N]\n\
+         \x20 gcnt infer design.bench --model model.json [--threshold F]\n\
+         \x20 gcnt flow design.bench --model model.json [--out modified.bench]\n\
+         \x20 gcnt atpg design.bench [--patterns N]"
+    );
+}
+
+fn split_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut options = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                options.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+                continue;
+            }
+            options.insert(key.to_string(), String::new());
+        } else {
+            positional.push(args[i].clone());
+        }
+        i += 1;
+    }
+    (positional, options)
+}
+
+fn opt_usize(options: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    options
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn opt_f64(options: &HashMap<String, String>, key: &str, default: f64) -> f64 {
+    options
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load_design(path: &str) -> Result<Netlist, Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    let net = format::read(&text)?;
+    net.validate()?;
+    Ok(net)
+}
+
+fn cmd_generate(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let nodes = opt_usize(options, "nodes", 10_000);
+    let seed = opt_usize(options, "seed", 1) as u64;
+    let out = options.get("out").ok_or("--out is required")?;
+    let net = generate(&GeneratorConfig::sized("generated", seed, nodes));
+    fs::write(out, format::write(&net))?;
+    println!(
+        "wrote {out}: {} nodes, {} edges",
+        net.node_count(),
+        net.edge_count()
+    );
+    Ok(())
+}
+
+fn cmd_stats(positional: &[String]) -> Result<(), Box<dyn Error>> {
+    let path = positional.first().ok_or("expected a design file")?;
+    let net = load_design(path)?;
+    let stats = net.stats()?;
+    println!("design   : {}", net.name());
+    println!("nodes    : {}", stats.nodes);
+    println!("edges    : {}", stats.edges);
+    println!("inputs   : {}", stats.inputs);
+    println!("outputs  : {}", stats.outputs);
+    println!("flipflops: {}", stats.dffs);
+    println!("depth    : {}", stats.max_level);
+    println!("{}", profile(&net)?);
+    Ok(())
+}
+
+fn cmd_label(
+    positional: &[String],
+    options: &HashMap<String, String>,
+) -> Result<(), Box<dyn Error>> {
+    let path = positional.first().ok_or("expected a design file")?;
+    let net = load_design(path)?;
+    let cfg = LabelConfig {
+        patterns: opt_usize(options, "patterns", 8192),
+        threshold: opt_f64(options, "threshold", 0.0005),
+        seed: opt_usize(options, "seed", 0xDF7) as u64,
+    };
+    let result = label_difficult_to_observe(&net, &cfg)?;
+    println!(
+        "{} of {} nodes difficult-to-observe ({:.2}%)",
+        result.positive_count(),
+        net.node_count(),
+        100.0 * result.positive_count() as f64 / net.node_count() as f64
+    );
+    if let Some(out) = options.get("out") {
+        fs::write(out, serde_json::to_string_pretty(&result)?)?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_train(
+    positional: &[String],
+    options: &HashMap<String, String>,
+) -> Result<(), Box<dyn Error>> {
+    if positional.is_empty() {
+        return Err("expected at least one training design".into());
+    }
+    let model_path = options.get("model").ok_or("--model is required")?;
+    let label_cfg = LabelConfig {
+        patterns: opt_usize(options, "patterns", 8192),
+        threshold: opt_f64(options, "threshold", 0.0005),
+        seed: 0xDF7,
+    };
+    // Load, label, and prepare every design with a shared normaliser.
+    let mut nets = Vec::new();
+    for path in positional {
+        let net = load_design(path)?;
+        println!("loaded {path}: {} nodes", net.node_count());
+        nets.push(net);
+    }
+    let mut raw = Vec::new();
+    let mut labels = Vec::new();
+    for net in &nets {
+        raw.push(gcn_testability::gcn::features::raw_features_of(net)?);
+        let l = label_difficult_to_observe(net, &label_cfg)?;
+        println!("  {}: {} positives", net.name(), l.positive_count());
+        labels.push(l.labels);
+    }
+    let normalizer = FeatureNormalizer::fit(&raw.iter().collect::<Vec<_>>());
+    let data: Vec<GraphData> = nets
+        .iter()
+        .zip(labels)
+        .map(|(net, l)| GraphData::from_netlist(net, Some(&normalizer)).map(|d| d.with_labels(l)))
+        .collect::<Result<_, _>>()?;
+
+    let ms_cfg = MultiStageConfig {
+        stages: opt_usize(options, "stages", 3),
+        epochs_per_stage: opt_usize(options, "epochs", 100),
+        ..MultiStageConfig::default()
+    };
+    let refs: Vec<&GraphData> = data.iter().collect();
+    let (model, reports) = MultiStageGcn::train(&ms_cfg, &refs)?;
+    for r in &reports {
+        println!(
+            "stage {}: {} active ({} pos), pos_weight {:.1}, filtered {}",
+            r.stage, r.active, r.positives, r.pos_weight, r.filtered
+        );
+    }
+    let bundle = ModelBundle { normalizer, model };
+    fs::write(model_path, serde_json::to_string(&bundle)?)?;
+    println!("wrote {model_path}");
+    Ok(())
+}
+
+fn load_model(options: &HashMap<String, String>) -> Result<ModelBundle, Box<dyn Error>> {
+    let model_path = options.get("model").ok_or("--model is required")?;
+    Ok(serde_json::from_str(&fs::read_to_string(model_path)?)?)
+}
+
+fn cmd_infer(
+    positional: &[String],
+    options: &HashMap<String, String>,
+) -> Result<(), Box<dyn Error>> {
+    let path = positional.first().ok_or("expected a design file")?;
+    let net = load_design(path)?;
+    let bundle = load_model(options)?;
+    let threshold = opt_f64(options, "threshold", 0.5) as f32;
+    let data = GraphData::from_netlist(&net, Some(&bundle.normalizer))?;
+    let probs = bundle.model.predict_proba(&data.tensors, &data.features)?;
+    let mut positives: Vec<(usize, f32)> = probs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &p)| p >= threshold)
+        .map(|(i, &p)| (i, p))
+        .collect();
+    positives.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    println!(
+        "{} of {} nodes predicted difficult-to-observe",
+        positives.len(),
+        net.node_count()
+    );
+    for (i, p) in positives.iter().take(20) {
+        println!("  n{i}  p = {p:.3}");
+    }
+    if positives.len() > 20 {
+        println!("  ... and {} more", positives.len() - 20);
+    }
+    Ok(())
+}
+
+fn cmd_flow(
+    positional: &[String],
+    options: &HashMap<String, String>,
+) -> Result<(), Box<dyn Error>> {
+    let path = positional.first().ok_or("expected a design file")?;
+    let mut net = load_design(path)?;
+    let bundle = load_model(options)?;
+    let cfg = FlowConfig {
+        max_iterations: opt_usize(options, "iterations", 12),
+        ops_per_iteration: opt_usize(options, "ops-per-iteration", 16),
+        ..FlowConfig::default()
+    };
+    let outcome = run_gcn_opi(
+        &mut net,
+        &bundle.normalizer,
+        |t, x| bundle.model.predict_proba(t, x),
+        &cfg,
+    )?;
+    println!(
+        "inserted {} observation points in {} iterations (converged: {})",
+        outcome.inserted.len(),
+        outcome.history.len(),
+        outcome.converged
+    );
+    for stat in &outcome.history {
+        println!(
+            "  iteration {}: {} positives, {} inserted",
+            stat.iteration, stat.positives, stat.inserted
+        );
+    }
+    if let Some(out) = options.get("out") {
+        fs::write(out, format::write(&net))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_atpg(
+    positional: &[String],
+    options: &HashMap<String, String>,
+) -> Result<(), Box<dyn Error>> {
+    let path = positional.first().ok_or("expected a design file")?;
+    let net = load_design(path)?;
+    let cfg = AtpgConfig {
+        max_patterns: opt_usize(options, "patterns", 16_384),
+        ..Default::default()
+    };
+    let result = run_random_atpg(&net, &cfg)?;
+    println!("faults    : {}", result.total_faults);
+    println!("detected  : {}", result.detected);
+    println!("coverage  : {:.2}%", result.coverage() * 100.0);
+    println!(
+        "patterns  : {} kept of {} applied",
+        result.patterns_kept, result.patterns_applied
+    );
+    Ok(())
+}

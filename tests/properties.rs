@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! invariants the paper's pipeline depends on.
+
+use proptest::prelude::*;
+
+use gcn_testability::gcn::{recursive, Gcn, GcnConfig, GraphData, GraphTensors};
+use gcn_testability::netlist::{generate, CellKind, GeneratorConfig, Netlist, Scoap, SCOAP_INF};
+use gcn_testability::nn::seeded_rng;
+use gcn_testability::tensor::{CooMatrix, Matrix};
+
+/// Strategy: a small random DAG netlist built the same way the generator
+/// guarantees acyclicity (fanins only from earlier nodes), with all
+/// dangling nodes promoted to primary outputs.
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (2usize..12, 5usize..60, any::<u64>()).prop_map(|(inputs, gates, seed)| {
+        let cfg = GeneratorConfig {
+            inputs,
+            gates,
+            seed,
+            shadow_regions: 0,
+            ..GeneratorConfig::default()
+        };
+        generate(&cfg)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated netlist validates and levelises.
+    #[test]
+    fn generated_netlists_validate(net in arb_netlist()) {
+        net.validate().unwrap();
+        let order = net.topo_order().unwrap();
+        prop_assert_eq!(order.len(), net.node_count());
+        // Topological property: every non-pseudo-input node appears after
+        // all of its fanins.
+        let pos: Vec<usize> = {
+            let mut p = vec![0; net.node_count()];
+            for (i, id) in order.iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for v in net.nodes() {
+            if net.kind(v).is_pseudo_input() {
+                continue;
+            }
+            for &u in net.fanin(v) {
+                prop_assert!(pos[u.index()] < pos[v.index()]);
+            }
+        }
+    }
+
+    /// SCOAP invariants: pseudo inputs cost 1/1, all costs are in
+    /// [1, SCOAP_INF], and a node driving a primary output has CO = 0.
+    #[test]
+    fn scoap_invariants(net in arb_netlist()) {
+        let scoap = Scoap::compute(&net).unwrap();
+        for v in net.nodes() {
+            let kind = net.kind(v);
+            if kind.is_pseudo_input() {
+                prop_assert_eq!(scoap.cc0(v), 1);
+                prop_assert_eq!(scoap.cc1(v), 1);
+            } else {
+                prop_assert!(scoap.cc0(v) >= 1);
+                prop_assert!(scoap.cc1(v) >= 1);
+            }
+            prop_assert!(scoap.cc0(v) <= SCOAP_INF);
+            prop_assert!(scoap.cc1(v) <= SCOAP_INF);
+            if net.fanout(v).iter().any(|&u| net.kind(u) == CellKind::Output) {
+                prop_assert_eq!(scoap.co(v), 0);
+            }
+        }
+    }
+
+    /// Observation-point insertion only improves observability, never
+    /// worsens it, and leaves controllability untouched.
+    #[test]
+    fn observation_point_is_monotone(net in arb_netlist(), pick in any::<u32>()) {
+        let candidates: Vec<_> = net
+            .nodes()
+            .filter(|&v| net.kind(v) != CellKind::Output)
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let target = candidates[pick as usize % candidates.len()];
+        let before = Scoap::compute(&net).unwrap();
+        let mut net2 = net.clone();
+        let op = net2.insert_observation_point(target).unwrap();
+        let mut after = before.clone();
+        after.observe(&net2, target, op);
+        for v in net.nodes() {
+            prop_assert!(after.co(v) <= before.co(v), "co worsened at {}", v);
+            prop_assert_eq!(after.cc0(v), before.cc0(v));
+            prop_assert_eq!(after.cc1(v), before.cc1(v));
+        }
+        prop_assert_eq!(after.co(target), 0);
+        // Incremental result matches full recompute.
+        let full = Scoap::compute(&net2).unwrap();
+        prop_assert_eq!(&after, &full);
+    }
+
+    /// The aggregation operator and its backward are adjoint:
+    /// <A e, d> == <e, A^T d> for random dense matrices.
+    #[test]
+    fn aggregate_adjointness(
+        net in arb_netlist(),
+        w_pr in -1.0f32..1.0,
+        w_su in -1.0f32..1.0,
+        seed in any::<u64>(),
+    ) {
+        let t = GraphTensors::from_netlist(&net);
+        let n = t.node_count();
+        use rand::Rng as _;
+        let mut rng = seeded_rng(seed);
+        let e = Matrix::from_fn(n, 3, |_, _| rng.gen_range(-1.0f32..1.0));
+        let d = Matrix::from_fn(n, 3, |_, _| rng.gen_range(-1.0f32..1.0));
+        let (g, _, _) = t.aggregate(&e, w_pr, w_su).unwrap();
+        let de = t.aggregate_backward(&d, w_pr, w_su).unwrap();
+        let lhs = g.dot(&d).unwrap() as f64;
+        let rhs = e.dot(&de).unwrap() as f64;
+        let scale = 1.0 + lhs.abs().max(rhs.abs());
+        prop_assert!(((lhs - rhs) / scale).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    /// Matrix-form inference equals recursion-based inference on random
+    /// graphs and random (untrained) models — the §3.4.1 equivalence.
+    #[test]
+    fn matrix_and_recursive_inference_agree(net in arb_netlist(), seed in any::<u64>()) {
+        let data = GraphData::from_netlist(&net, None).unwrap();
+        let gcn = Gcn::new(
+            &GcnConfig {
+                embed_dims: vec![5, 6],
+                fc_dims: vec![4],
+                ..GcnConfig::default()
+            },
+            &mut seeded_rng(seed),
+        );
+        let fast = gcn.predict(&data.tensors, &data.features).unwrap();
+        let nodes: Vec<usize> = (0..data.node_count()).step_by(7).collect();
+        let slow = recursive::predict_nodes(&gcn, &data.tensors, &data.features, &nodes).unwrap();
+        for (i, &node) in nodes.iter().enumerate() {
+            for c in 0..2 {
+                let a = fast.get(node, c);
+                let b = slow.get(i, c);
+                prop_assert!(
+                    (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+                    "node {node} class {c}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// COO -> CSR -> dense equals COO -> dense for arbitrary triplet sets
+    /// (duplicates included).
+    #[test]
+    fn coo_csr_dense_agree(
+        triplets in proptest::collection::vec((0usize..12, 0usize..12, -5.0f32..5.0), 0..60)
+    ) {
+        let coo = CooMatrix::from_triplets(12, 12, triplets).unwrap();
+        let via_csr = coo.to_csr().to_dense();
+        let direct = coo.to_dense();
+        for r in 0..12 {
+            for c in 0..12 {
+                prop_assert!((via_csr.get(r, c) - direct.get(r, c)).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// spmm distributes over dense addition: A(X + Y) = AX + AY.
+    #[test]
+    fn spmm_linearity(net in arb_netlist(), seed in any::<u64>()) {
+        let t = GraphTensors::from_netlist(&net);
+        let n = t.node_count();
+        use rand::Rng as _;
+        let mut rng = seeded_rng(seed);
+        let x = Matrix::from_fn(n, 2, |_, _| rng.gen_range(-1.0f32..1.0));
+        let y = Matrix::from_fn(n, 2, |_, _| rng.gen_range(-1.0f32..1.0));
+        let lhs = t.pred().spmm(&x.add(&y).unwrap()).unwrap();
+        let rhs = t.pred().spmm(&x).unwrap().add(&t.pred().spmm(&y).unwrap()).unwrap();
+        for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+}
