@@ -159,9 +159,16 @@ pub struct InsertedControlPoint {
 }
 
 /// Iteratively inserts control points until no node is difficult to
-/// control (or the caps are hit). A hard-to-one node's first fanout edge
-/// is rewired through `OR(node, test_input)`; a hard-to-zero node through
-/// `AND(node, test_input)`. Returns the insertions in order.
+/// control (or the caps are hit).
+///
+/// A hard node's most-skewed fanin line (the one whose signal probability
+/// is furthest from 0.5) is cut and rewired through a randomizing gate
+/// driven by a fresh test input: `OR(line, test_input)` when the line is
+/// pinned near 0, `AND(line, test_input)` when it is pinned near 1. This
+/// moves the hard node's own probability toward 0.5 *and* randomizes its
+/// whole downstream cone — inserting on the output side would fix only the
+/// sinks while leaving the flagged node itself stuck, so the loop would
+/// never converge on boundary nodes. Returns the insertions in order.
 ///
 /// # Errors
 ///
@@ -174,6 +181,10 @@ pub fn insert_control_points(
     for round in 0..cfg.max_iterations {
         let mut label_cfg = cfg.label.clone();
         label_cfg.seed = cfg.label.seed.wrapping_add(round as u64);
+        // Guard-band the insertion threshold: fix anything within 2x of the
+        // reporting threshold so the post-insertion analysis (which samples
+        // with finite patterns) stays robustly below it.
+        label_cfg.threshold = cfg.label.threshold * 2.0;
         let labels = label_difficult_to_control(net, &label_cfg)?;
         let mut any = false;
         let nodes: Vec<NodeId> = net.nodes().collect();
@@ -186,17 +197,18 @@ pub fn insert_control_points(
             if !hard_one && !hard_zero {
                 continue;
             }
-            // Rewire the first fanout edge of v through the CP gate; if v
-            // has no combinational sink to rewire, skip it.
-            let Some((sink, pin)) = first_rewireable_edge(net, v) else {
+            // Cut the most skewed fanin line of v; primary inputs and
+            // flip-flop outputs sit at ~0.5, so a hard node always has a
+            // skewed line to fix.
+            let Some((pin, line_prob)) = most_skewed_fanin(net, v, &labels.prob_one) else {
                 continue;
             };
-            let kind = if hard_one {
+            let kind = if line_prob < 0.5 {
                 CellKind::Or
             } else {
                 CellKind::And
             };
-            let (gate, ctrl) = net.insert_control_point(sink, pin, kind)?;
+            let (gate, ctrl) = net.insert_control_point(v, pin, kind)?;
             inserted.push(InsertedControlPoint {
                 target: v,
                 gate,
@@ -211,19 +223,20 @@ pub fn insert_control_points(
     Ok(inserted)
 }
 
-/// Finds `(sink, pin)` of the first fanout edge of `v` that can host a CP
-/// gate (i.e. the sink is not an `Output` marker, which must stay
-/// single-fanin on the original signal).
-fn first_rewireable_edge(net: &Netlist, v: NodeId) -> Option<(NodeId, usize)> {
-    for &sink in net.fanout(v) {
-        if net.kind(sink) == CellKind::Output {
-            continue;
-        }
-        if let Some(pin) = net.fanin(sink).iter().position(|&w| w == v) {
-            return Some((sink, pin));
-        }
-    }
-    None
+/// Finds the fanin pin of `v` whose driving signal probability is furthest
+/// from 0.5, together with that probability. Returns `None` for nodes
+/// without fanins.
+fn most_skewed_fanin(net: &Netlist, v: NodeId, prob_one: &[f64]) -> Option<(usize, f64)> {
+    net.fanin(v)
+        .iter()
+        .enumerate()
+        .map(|(pin, &u)| (pin, prob_one[u.index()]))
+        .max_by(|(_, a), (_, b)| {
+            (a - 0.5)
+                .abs()
+                .partial_cmp(&(b - 0.5).abs())
+                .expect("signal probabilities are finite")
+        })
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ use serde::{Deserialize, Serialize};
 
 use gcnt_core::features::{squash, FeatureNormalizer, OBSERVATION_POINT_ATTRS, RAW_DIM};
 use gcnt_core::GraphTensors;
+use gcnt_lint::{lint_graph_tensors, lint_netlist, lint_scoap, LintReport, RuleId};
 use gcnt_netlist::{logic_levels, CellKind, Netlist, NetlistError, NodeId, Scoap};
 use gcnt_tensor::{Matrix, TensorError};
 
@@ -39,6 +40,9 @@ pub enum FlowError {
     Netlist(NetlistError),
     /// A tensor kernel reported an error (model/graph shape mismatch).
     Tensor(TensorError),
+    /// The re-lint after an incremental graph update found `Error`-severity
+    /// violations; the report lists them with their rule ids.
+    Lint(Box<LintReport>),
 }
 
 impl fmt::Display for FlowError {
@@ -46,6 +50,7 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Netlist(e) => write!(f, "netlist error: {e}"),
             FlowError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FlowError::Lint(report) => write!(f, "lint errors after graph update:\n{report}"),
         }
     }
 }
@@ -55,6 +60,7 @@ impl std::error::Error for FlowError {
         match self {
             FlowError::Netlist(e) => Some(e),
             FlowError::Tensor(e) => Some(e),
+            FlowError::Lint(_) => None,
         }
     }
 }
@@ -71,6 +77,33 @@ impl From<TensorError> for FlowError {
     fn from(e: TensorError) -> Self {
         FlowError::Tensor(e)
     }
+}
+
+#[doc(hidden)]
+impl From<LintReport> for FlowError {
+    fn from(report: LintReport) -> Self {
+        FlowError::Lint(Box::new(report))
+    }
+}
+
+/// Re-lints the incrementally maintained state (netlist structure, graph
+/// tensors, SCOAP vectors) after a batch of insertions.
+///
+/// Derived artifacts drifting out of sync with the graph is exactly the
+/// failure mode incremental updates risk, and it would otherwise surface
+/// as a wrong prediction or an assert deep inside a kernel.
+fn relint_incremental(
+    net: &Netlist,
+    tensors: &GraphTensors,
+    scoap: &Scoap,
+) -> Result<(), FlowError> {
+    let mut report = lint_netlist(net);
+    report.merge(lint_graph_tensors(net, tensors));
+    report.merge(lint_scoap(net, scoap));
+    if report.has_errors() {
+        return Err(report.into());
+    }
+    Ok(())
 }
 
 /// Configuration of the iterative flow.
@@ -227,6 +260,19 @@ where
                 continue;
             }
             let op = net.insert_observation_point(target)?;
+            if op.index() != tensors.node_count() {
+                let mut report = LintReport::new();
+                report.report(
+                    RuleId::AdjacencyNetlistMismatch,
+                    "flow",
+                    format!(
+                        "new node {} is not the tensors' next row ({} nodes modeled)",
+                        op.index(),
+                        tensors.node_count()
+                    ),
+                );
+                return Err(report.into());
+            }
             tensors.insert_observation_point(target, op);
             let changed = scoap.observe(net, target, op);
             for v in changed {
@@ -245,6 +291,7 @@ where
         if inserted_now == 0 {
             break; // cannot make progress
         }
+        relint_incremental(net, &tensors, &scoap)?;
     }
 
     // Final positive count if we exited by iteration cap.
@@ -362,7 +409,10 @@ mod tests {
         assert!(outcome.converged, "flow did not converge: {outcome:?}");
         assert!(!outcome.inserted.is_empty());
         assert_eq!(outcome.remaining_positives, 0);
-        net.validate().unwrap();
+        // The flow re-lints after every update, so a clean exit implies a
+        // structurally sound design; double-check through the public pass.
+        let report = gcnt_lint::lint_netlist_deep(&net);
+        assert!(!report.has_errors(), "{report}");
         // Every inserted node is now directly observable.
         let scoap = Scoap::compute(&net).unwrap();
         for &v in &outcome.inserted {
@@ -456,5 +506,24 @@ mod tests {
             actual: 2,
         });
         assert!(e.to_string().contains("tensor error"));
+        let mut report = LintReport::new();
+        report.report(RuleId::AdjacencyNetlistMismatch, "flow", "out of sync");
+        let e = FlowError::from(report);
+        assert!(e.to_string().contains("TS001"), "{e}");
+    }
+
+    #[test]
+    fn relint_catches_out_of_sync_tensors() {
+        let net = shadowed_design(96);
+        let smaller = shadowed_design(97);
+        let tensors = GraphTensors::from_netlist(&smaller);
+        let scoap = Scoap::compute(&net).unwrap();
+        let err = relint_incremental(&net, &tensors, &scoap).unwrap_err();
+        match err {
+            FlowError::Lint(report) => {
+                assert!(report.fired(RuleId::AdjacencyNetlistMismatch), "{report}")
+            }
+            other => panic!("expected a lint error, got {other}"),
+        }
     }
 }

@@ -1,0 +1,368 @@
+//! Structural netlist rules (`NL...`): graph shape, logic levels, SCOAP
+//! ranges.
+
+use gcnt_netlist::{logic_levels, CellKind, Netlist, NetlistError, NodeId, Scoap, SCOAP_INF};
+
+use crate::report::{LintReport, RuleId};
+
+/// Cap on findings recorded per rule per run, so a systematically broken
+/// artifact produces a readable report instead of thousands of lines.
+pub(crate) const MAX_FINDINGS_PER_RULE: usize = 16;
+
+pub(crate) struct Capped<'r> {
+    report: &'r mut LintReport,
+    rule: RuleId,
+    context: &'static str,
+    seen: usize,
+}
+
+impl<'r> Capped<'r> {
+    pub(crate) fn new(report: &'r mut LintReport, rule: RuleId, context: &'static str) -> Self {
+        Capped {
+            report,
+            rule,
+            context,
+            seen: 0,
+        }
+    }
+
+    pub(crate) fn report(&mut self, message: impl Into<String>) {
+        self.seen += 1;
+        if self.seen <= MAX_FINDINGS_PER_RULE {
+            self.report.report(self.rule, self.context, message);
+        }
+    }
+}
+
+impl Drop for Capped<'_> {
+    fn drop(&mut self) {
+        if self.seen > MAX_FINDINGS_PER_RULE {
+            self.report.report(
+                self.rule,
+                self.context,
+                format!(
+                    "... and {} more finding(s) of this rule suppressed",
+                    self.seen - MAX_FINDINGS_PER_RULE
+                ),
+            );
+        }
+    }
+}
+
+fn describe(net: &Netlist, v: NodeId) -> String {
+    format!("node {} ({:?})", v.index(), net.kind(v))
+}
+
+/// Deep structural check of a netlist: fires `NL001` (combinational
+/// cycle), `NL002` (bad arity), `NL003` (dangling net), and `NL004`
+/// (floating input).
+///
+/// This subsumes [`Netlist::validate`] — everything `validate` rejects is
+/// reported here with a rule id, plus the dangling-net warning that
+/// `validate` does not check.
+pub fn lint_netlist(net: &Netlist) -> LintReport {
+    let mut report = LintReport::new();
+
+    {
+        let mut arity = Capped::new(&mut report, RuleId::BadArity, "netlist");
+        for v in net.nodes() {
+            let kind = net.kind(v);
+            let (lo, hi) = kind.arity();
+            let n = net.fanin(v).len();
+            if n == 0 && lo > 0 {
+                continue; // NL004's carve-out, reported below
+            }
+            if n < lo || n > hi {
+                arity.report(format!(
+                    "{} has {n} fanin(s), expected {}",
+                    describe(net, v),
+                    if hi == usize::MAX {
+                        format!(">= {lo}")
+                    } else if lo == hi {
+                        format!("exactly {lo}")
+                    } else {
+                        format!("{lo}..={hi}")
+                    }
+                ));
+            }
+            if kind == CellKind::Output && !net.fanout(v).is_empty() {
+                arity.report(format!(
+                    "{} is an Output marker but drives {} sink(s)",
+                    describe(net, v),
+                    net.fanout(v).len()
+                ));
+            }
+        }
+    }
+
+    {
+        let mut floating = Capped::new(&mut report, RuleId::FloatingInput, "netlist");
+        for v in net.nodes() {
+            if net.fanin(v).is_empty() && net.kind(v).arity().0 > 0 {
+                floating.report(format!("{} has no drivers", describe(net, v)));
+            }
+        }
+    }
+
+    {
+        let mut dangling = Capped::new(&mut report, RuleId::DanglingNet, "netlist");
+        for v in net.nodes() {
+            if net.fanout(v).is_empty() && !net.kind(v).is_pseudo_output() {
+                dangling.report(format!("{} drives nothing", describe(net, v)));
+            }
+        }
+    }
+
+    match net.topo_order() {
+        Ok(_) => {}
+        Err(NetlistError::CombinationalCycle { node }) => {
+            report.report(
+                RuleId::CombinationalCycle,
+                "netlist",
+                format!("combinational cycle through {}", describe(net, node)),
+            );
+        }
+        Err(other) => {
+            report.report(
+                RuleId::CombinationalCycle,
+                "netlist",
+                format!("topological ordering failed: {other}"),
+            );
+        }
+    }
+
+    report
+}
+
+/// Checks a stored logic-level assignment against the netlist: fires
+/// `NL005` when `levels[v] != 1 + max(levels[fanin(v)])` for a
+/// non-pseudo-input node, or when a pseudo input's level is not 0.
+///
+/// The workspace feeds logic levels into the GCN feature matrix (`[LL,
+/// C0, C1, O]`, paper §3.1); this rule catches level columns that went
+/// stale after a graph edit or were corrupted on disk. Skipped (reporting
+/// nothing) if the netlist is cyclic — `NL001` already covers that.
+pub fn lint_levels(net: &Netlist, levels: &[u32]) -> LintReport {
+    let mut report = LintReport::new();
+    if levels.len() != net.node_count() {
+        report.report(
+            RuleId::LevelMonotonicity,
+            "levels",
+            format!(
+                "level vector has {} entries for {} nodes",
+                levels.len(),
+                net.node_count()
+            ),
+        );
+        return report;
+    }
+    if net.topo_order().is_err() {
+        return report;
+    }
+    let mut capped = Capped::new(&mut report, RuleId::LevelMonotonicity, "levels");
+    for v in net.nodes() {
+        let got = levels[v.index()];
+        if net.kind(v).is_pseudo_input() {
+            if got != 0 {
+                capped.report(format!(
+                    "{} is a pseudo input but has level {got}, expected 0",
+                    describe(net, v)
+                ));
+            }
+            continue;
+        }
+        let expected = net
+            .fanin(v)
+            .iter()
+            .map(|&u| levels[u.index()])
+            .max()
+            .unwrap_or(0)
+            .saturating_add(1);
+        if got != expected {
+            capped.report(format!(
+                "{} has level {got}, expected {expected} (1 + max of fanin levels)",
+                describe(net, v)
+            ));
+        }
+    }
+    drop(capped);
+    report
+}
+
+/// Checks SCOAP measures against their legal ranges: fires `NL006` when
+/// `cc0`/`cc1` leave `[1, SCOAP_INF]`, `co` exceeds `SCOAP_INF`, or a
+/// pseudo input's controllabilities are not exactly 1.
+pub fn lint_scoap(net: &Netlist, scoap: &Scoap) -> LintReport {
+    let mut report = LintReport::new();
+    if scoap.cc0_all().len() != net.node_count()
+        || scoap.cc1_all().len() != net.node_count()
+        || scoap.co_all().len() != net.node_count()
+    {
+        report.report(
+            RuleId::ScoapRange,
+            "scoap",
+            format!(
+                "SCOAP vectors sized {}/{}/{} for {} nodes",
+                scoap.cc0_all().len(),
+                scoap.cc1_all().len(),
+                scoap.co_all().len(),
+                net.node_count()
+            ),
+        );
+        return report;
+    }
+    let mut capped = Capped::new(&mut report, RuleId::ScoapRange, "scoap");
+    for v in net.nodes() {
+        let (cc0, cc1, co) = (scoap.cc0(v), scoap.cc1(v), scoap.co(v));
+        for (name, c) in [("cc0", cc0), ("cc1", cc1)] {
+            if !(1..=SCOAP_INF).contains(&c) {
+                capped.report(format!(
+                    "{} has {name} = {c}, outside [1, {SCOAP_INF}]",
+                    describe(net, v)
+                ));
+            }
+        }
+        if co > SCOAP_INF {
+            capped.report(format!(
+                "{} has co = {co}, above {SCOAP_INF}",
+                describe(net, v)
+            ));
+        }
+        if net.kind(v).is_pseudo_input() && (cc0 != 1 || cc1 != 1) {
+            capped.report(format!(
+                "{} is a pseudo input but has cc0/cc1 = {cc0}/{cc1}, expected 1/1",
+                describe(net, v)
+            ));
+        }
+    }
+    drop(capped);
+    report
+}
+
+/// Convenience wrapper: computes logic levels and SCOAP from the netlist
+/// and lints them alongside the structure. Derived artifacts are only
+/// linted when the structure itself is sound.
+pub fn lint_netlist_deep(net: &Netlist) -> LintReport {
+    let mut report = lint_netlist(net);
+    if report.has_errors() {
+        return report;
+    }
+    if let Ok(levels) = logic_levels(net) {
+        report.merge(lint_levels(net, &levels));
+    }
+    if let Ok(scoap) = Scoap::compute(net) {
+        report.merge(lint_scoap(net, &scoap));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnt_netlist::{generate, GeneratorConfig};
+
+    fn clean_net() -> Netlist {
+        generate(&GeneratorConfig::sized("clean", 6, 80))
+    }
+
+    #[test]
+    fn clean_generated_netlist_has_no_findings() {
+        let report = lint_netlist_deep(&clean_net());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn floating_input_fires_nl004_not_nl002() {
+        let mut net = Netlist::new("floating");
+        net.add_cell(CellKind::Not);
+        let report = lint_netlist(&net);
+        assert!(report.fired(RuleId::FloatingInput));
+        assert!(!report.fired(RuleId::BadArity));
+    }
+
+    #[test]
+    fn single_fanin_and_fires_nl002() {
+        let mut net = Netlist::new("arity");
+        let a = net.add_cell(CellKind::Input);
+        let g = net.add_cell(CellKind::And);
+        let o = net.add_cell(CellKind::Output);
+        net.connect(a, g).unwrap();
+        net.connect(g, o).unwrap();
+        let report = lint_netlist(&net);
+        assert!(report.fired(RuleId::BadArity));
+    }
+
+    #[test]
+    fn unused_gate_fires_nl003_warning_only() {
+        let mut net = Netlist::new("dangling");
+        let a = net.add_cell(CellKind::Input);
+        let b = net.add_cell(CellKind::Input);
+        let g = net.add_cell(CellKind::And);
+        net.connect(a, g).unwrap();
+        net.connect(b, g).unwrap();
+        let report = lint_netlist(&net);
+        assert!(report.fired(RuleId::DanglingNet));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn back_edge_fires_nl001() {
+        let mut net = Netlist::new("cycle");
+        let a = net.add_cell(CellKind::Input);
+        let g1 = net.add_cell(CellKind::And);
+        let g2 = net.add_cell(CellKind::And);
+        let o = net.add_cell(CellKind::Output);
+        net.connect(a, g1).unwrap();
+        net.connect(g1, g2).unwrap();
+        net.connect(g2, g1).unwrap(); // back edge
+        net.connect(a, g2).unwrap();
+        net.connect(g2, o).unwrap();
+        let report = lint_netlist(&net);
+        assert!(report.fired(RuleId::CombinationalCycle));
+    }
+
+    #[test]
+    fn stale_levels_fire_nl005() {
+        let net = clean_net();
+        let mut levels = logic_levels(&net).unwrap();
+        assert!(lint_levels(&net, &levels).is_clean());
+        // Corrupt the level of some internal node.
+        let gate = net
+            .nodes()
+            .find(|&v| !net.kind(v).is_pseudo_input())
+            .unwrap();
+        levels[gate.index()] += 7;
+        let report = lint_levels(&net, &levels);
+        assert!(report.fired(RuleId::LevelMonotonicity));
+        // Wrong length is also NL005.
+        let report = lint_levels(&net, &levels[1..]);
+        assert!(report.fired(RuleId::LevelMonotonicity));
+    }
+
+    #[test]
+    fn corrupt_scoap_fires_nl006() {
+        let net = clean_net();
+        let good = Scoap::compute(&net).unwrap();
+        assert!(lint_scoap(&net, &good).is_clean());
+        let mut cc0 = good.cc0_all().to_vec();
+        let gate = net
+            .nodes()
+            .find(|&v| !net.kind(v).is_pseudo_input())
+            .unwrap();
+        cc0[gate.index()] = 0; // controllability below the legal minimum
+        let bad = Scoap::from_raw_parts(cc0, good.cc1_all().to_vec(), good.co_all().to_vec());
+        let report = lint_scoap(&net, &bad);
+        assert!(report.fired(RuleId::ScoapRange));
+    }
+
+    #[test]
+    fn findings_are_capped_per_rule() {
+        let mut net = Netlist::new("many");
+        for _ in 0..3 * MAX_FINDINGS_PER_RULE {
+            net.add_cell(CellKind::Not);
+        }
+        let report = lint_netlist(&net);
+        let floating = report.of_rule(RuleId::FloatingInput).count();
+        assert_eq!(floating, MAX_FINDINGS_PER_RULE + 1); // findings + summary
+    }
+}

@@ -127,6 +127,105 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// The row pointer array (`rows + 1` entries; row `r`'s non-zeros live
+    /// at `indptr[r]..indptr[r + 1]`).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column index of each non-zero, grouped by row and sorted within
+    /// each row.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Value of each non-zero, parallel to [`CsrMatrix::indices`].
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Builds a CSR matrix directly from its raw arrays, validating every
+    /// structural invariant (see [`CsrMatrix::structure_ok`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the arrays violate the
+    /// CSR invariants.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        let m = CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        };
+        if !m.structure_ok() {
+            return Err(TensorError::LengthMismatch {
+                expected: m.rows + 1,
+                actual: m.indptr.len(),
+            });
+        }
+        Ok(m)
+    }
+
+    /// Builds a CSR matrix from raw arrays without validation.
+    ///
+    /// Intended for tests and tooling that deliberately construct broken
+    /// matrices (e.g. to exercise the lint rules); every kernel assumes
+    /// [`CsrMatrix::structure_ok`], so feeding an invalid matrix to them
+    /// is unspecified (panics or wrong results, but never UB).
+    pub fn from_raw_parts_unchecked(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Whether the CSR structural invariants hold: `indptr` has
+    /// `rows + 1` monotone entries starting at 0 and ending at `nnz`,
+    /// `indices` and `values` run parallel, and every row's column indices
+    /// are strictly increasing and in bounds.
+    ///
+    /// The hot kernels `debug_assert!` this; the lint crate reports each
+    /// violation individually.
+    pub fn structure_ok(&self) -> bool {
+        if self.indptr.len() != self.rows + 1
+            || self.indptr.first() != Some(&0)
+            || self.indptr.last() != Some(&self.indices.len())
+            || self.indices.len() != self.values.len()
+        {
+            return false;
+        }
+        if self.indptr.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        for r in 0..self.rows {
+            let row = &self.indices[self.indptr[r]..self.indptr[r + 1]];
+            if row.iter().any(|&c| c as usize >= self.cols) {
+                return false;
+            }
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Iterates over the non-zeros of row `r` as `(col, value)` pairs.
     ///
     /// # Panics
@@ -149,6 +248,7 @@ impl CsrMatrix {
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.cols() == rhs.rows()`.
     pub fn spmm(&self, rhs: &Matrix) -> Result<Matrix> {
+        debug_assert!(self.structure_ok(), "spmm on a malformed CSR matrix");
         if self.cols != rhs.rows() {
             return Err(TensorError::ShapeMismatch {
                 op: "spmm",
@@ -194,6 +294,10 @@ impl CsrMatrix {
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.rows() == rhs.rows()`.
     pub fn transpose_spmm(&self, rhs: &Matrix) -> Result<Matrix> {
+        debug_assert!(
+            self.structure_ok(),
+            "transpose_spmm on a malformed CSR matrix"
+        );
         if self.rows != rhs.rows() {
             return Err(TensorError::ShapeMismatch {
                 op: "transpose_spmm",

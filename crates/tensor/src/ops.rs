@@ -25,6 +25,12 @@ pub fn relu_mask(pre_activation: &Matrix) -> Matrix {
 
 /// Row-wise softmax, numerically stabilised by subtracting the row max.
 pub fn softmax_rows(m: &Matrix) -> Matrix {
+    // NaN logits would silently poison every probability in their row;
+    // catch them at the kernel boundary in debug builds.
+    debug_assert!(
+        m.as_slice().iter().all(|v| !v.is_nan()),
+        "softmax_rows on NaN logits"
+    );
     let mut out = m.clone();
     for r in 0..out.rows() {
         let row = out.row_mut(r);
@@ -87,6 +93,12 @@ pub fn column_stds(m: &Matrix, means: &[f32]) -> Vec<f32> {
 /// `(means, stds)` used, so a test set can be normalised with the training
 /// statistics.
 pub fn standardize_columns(m: &Matrix) -> (Matrix, Vec<f32>, Vec<f32>) {
+    // A single non-finite feature (e.g. an unclamped SCOAP saturation)
+    // would drag the whole column's mean/std to NaN.
+    debug_assert!(
+        m.as_slice().iter().all(|v| v.is_finite()),
+        "standardize_columns on non-finite features"
+    );
     let means = column_means(m);
     let stds = column_stds(m, &means);
     let out = apply_standardization(m, &means, &stds);

@@ -1,0 +1,81 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with spawn/join, implemented over
+//! `std::thread::scope` (stabilised long after crossbeam pioneered the
+//! API, which is why the upstream dependency existed at all).
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` if it
+        /// panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// caller's stack. Always returns `Ok` (a panicking child surfaces
+    /// through its `join`, and an unjoined panicking child propagates when
+    /// the scope exits, as with `std::thread::scope`).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn spawn_and_join_collect_results() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = thread::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,28 @@
+//! Collection strategies: `vec(element, size_range)`.
+
+use std::ops::Range;
+
+use rand::Rng as _;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Vec`s whose length is drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors of values from `element` with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(!size.is_empty(), "empty size range for collection::vec");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

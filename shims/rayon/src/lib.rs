@@ -1,0 +1,140 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses:
+//! `slice.par_chunks_mut(n).enumerate().for_each(...)`.
+//!
+//! Work is genuinely parallel — chunks are distributed round-robin over
+//! `std::thread::scope` workers sized to the machine — so the spmm/GEMM
+//! kernels built on top keep their multi-core speedups without the
+//! external dependency.
+
+/// Number of worker threads to use for a job of `jobs` independent items.
+fn worker_count(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs)
+        .max(1)
+}
+
+/// Parallel chunk iterator over a mutable slice, created by
+/// [`prelude::ParallelSliceMut::par_chunks_mut`].
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+/// [`ParChunksMut`] with chunk indices attached.
+pub struct EnumerateParChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Attaches the chunk index, mirroring `rayon`'s `enumerate`.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut { inner: self }
+    }
+
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+impl<'a, T: Send> EnumerateParChunksMut<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> = self
+            .inner
+            .slice
+            .chunks_mut(self.inner.chunk_size)
+            .enumerate()
+            .collect();
+        let workers = worker_count(chunks.len());
+        if workers <= 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        let mut groups: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, item) in chunks.into_iter().enumerate() {
+            groups[i % workers].push(item);
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for group in groups {
+                scope.spawn(move || {
+                    for item in group {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The traits callers bring into scope with `use rayon::prelude::*`.
+pub mod prelude {
+    use super::ParChunksMut;
+
+    /// Mutable-slice entry points (`par_chunks_mut`).
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits the slice into chunks of `chunk_size` for parallel
+        /// mutation.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `chunk_size` is zero.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            ParChunksMut {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn all_chunks_visited_with_correct_indices() {
+        let n = 257;
+        let mut data = vec![0u32; n * 3];
+        data.as_mut_slice()
+            .par_chunks_mut(3)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = i as u32 + 1;
+                }
+            });
+        for (i, row) in data.chunks(3).enumerate() {
+            assert!(row.iter().all(|&v| v == i as u32 + 1), "row {i}");
+        }
+    }
+
+    #[test]
+    fn uneven_tail_chunk() {
+        let mut data = vec![0u8; 10];
+        data.as_mut_slice()
+            .par_chunks_mut(4)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                assert!(chunk.len() == 4 || (i == 2 && chunk.len() == 2));
+                chunk.fill(1);
+            });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+}

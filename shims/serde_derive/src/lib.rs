@@ -1,0 +1,392 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! `syn`/`quote` are unavailable; the input item is parsed directly from
+//! the `proc_macro` token stream and the generated impl is assembled as a
+//! source string. Supported shapes (everything the workspace derives on):
+//!
+//! * structs with named fields → JSON objects,
+//! * tuple structs (any arity; arity 1 is the newtype form → inner value),
+//! * unit structs → `null`,
+//! * enums with unit / tuple / struct variants → serde's externally-tagged
+//!   JSON convention.
+//!
+//! Generics and serde attributes are *not* supported; deriving on such an
+//! item is a compile error, which is the correct failure mode for a shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named { fields: Vec<String> },
+    Tuple { arity: usize },
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (the shim's value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated code parses")
+}
+
+/// Derives `serde::Deserialize` (the shim's value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated code parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                shape: Shape::Named {
+                    fields: parse_named_fields(g.stream()),
+                },
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                shape: Shape::Tuple {
+                    arity: count_tuple_fields(g.stream()),
+                },
+            },
+            _ => Item::Struct {
+                name,
+                shape: Shape::Unit,
+            },
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("malformed enum {name}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(in ...)`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips one type, tracking `<...>` nesting so commas inside generic
+/// arguments don't terminate the field early. Stops at a top-level comma
+/// (consumed) or end of input.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        // `:`
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        skip_type(&tokens, &mut i);
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named {
+                    fields: parse_named_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple {
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => Shape::Unit,
+        };
+        // Optional trailing comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named { fields } => {
+                    let mut s = String::from(
+                        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for f in fields {
+                        s.push_str(&format!(
+                            "__fields.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(__fields)");
+                    s
+                }
+                Shape::Tuple { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple { arity } => {
+                    let items: Vec<String> = (0..*arity)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple { arity } => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named { fields } => {
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            fields.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n match self {{\n {arms} }}\n }}\n}}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named { fields } => {
+                    let mut s = format!(
+                        "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n"
+                    );
+                    s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+                    for f in fields {
+                        s.push_str(&format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::get_field(__obj, \"{f}\")?)?,\n"
+                        ));
+                    }
+                    s.push_str("})");
+                    s
+                }
+                Shape::Tuple { arity: 1 } => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Shape::Tuple { arity } => {
+                    let mut s = format!(
+                        "let __items = match __v {{ ::serde::Value::Array(items) if items.len() == {arity} => items, _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected array of length {arity} for {name}\")) }};\n"
+                    );
+                    let elems: Vec<String> = (0..*arity)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                        .collect();
+                    s.push_str(&format!(
+                        "::std::result::Result::Ok({name}({}))",
+                        elems.join(", ")
+                    ));
+                    s
+                }
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n {body}\n }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple { arity } => {
+                        let expr = if *arity == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::from_value(__inner)?)")
+                        } else {
+                            let mut s = format!(
+                                "{{ let __items = match __inner {{ ::serde::Value::Array(items) if items.len() == {arity} => items, _ => return ::std::result::Result::Err(::serde::Error::custom(\"bad payload for {name}::{vn}\")) }};\n{name}::{vn}("
+                            );
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                                })
+                                .collect();
+                            s.push_str(&elems.join(", "));
+                            s.push_str(") }");
+                            s
+                        };
+                        tagged_arms
+                            .push_str(&format!("\"{vn}\" => ::std::result::Result::Ok({expr}),\n"));
+                    }
+                    Shape::Named { fields } => {
+                        let mut s = format!(
+                            "{{ let __obj = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"bad payload for {name}::{vn}\"))?;\n{name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            s.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::get_field(__obj, \"{f}\")?)?,\n"
+                            ));
+                        }
+                        s.push_str("} }");
+                        tagged_arms
+                            .push_str(&format!("\"{vn}\" => ::std::result::Result::Ok({s}),\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n match __v {{\n ::serde::Value::String(__s) => match __s.as_str() {{\n {unit_arms} __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n }},\n ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n let (__tag, __inner) = &__fields[0];\n match __tag.as_str() {{\n {tagged_arms} __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n }}\n }},\n _ => ::std::result::Result::Err(::serde::Error::custom(\"expected enum {name}\")),\n }}\n }}\n}}"
+            )
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`], and [`from_str`] over the value-tree
+//! model provided by the local `serde` shim.
+
+pub use serde::{Error, Number, Value};
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible for the value-tree model; the `Result` mirrors upstream
+/// `serde_json`'s signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render())
+}
+
+/// Serializes `value` to a pretty-printed (2-space indent) JSON string.
+///
+/// # Errors
+///
+/// Infallible for the value-tree model; the `Result` mirrors upstream
+/// `serde_json`'s signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Deserializes a value of type `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] if `s` is not valid JSON or its shape does not match
+/// `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value: Value = s.parse()?;
+    T::from_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_containers() {
+        let v = vec![1u32, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        let back: Vec<u32> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_is_parseable() {
+        let v = vec![(1u32, 2.5f32)];
+        let json = to_string_pretty(&v).unwrap();
+        assert!(json.contains('\n'));
+        let back: Vec<(u32, f32)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Vec<u32>>("[1, 2,").is_err());
+    }
+}

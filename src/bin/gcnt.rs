@@ -8,6 +8,7 @@
 //! gcnt infer    design.bench --model model.json
 //! gcnt flow     design.bench --model model.json --out modified.bench
 //! gcnt atpg     design.bench
+//! gcnt lint     design.bench --format json
 //! ```
 //!
 //! Designs are stored in the plain-text `.bench`-style format of
@@ -60,6 +61,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "infer" => cmd_infer(&positional, &options),
         "flow" => cmd_flow(&positional, &options),
         "atpg" => cmd_atpg(&positional, &options),
+        "lint" => cmd_lint(&positional, &options),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -82,7 +84,8 @@ fn print_usage() {
          \x20 gcnt train a.bench [b.bench ...] --model model.json [--epochs N] [--stages N]\n\
          \x20 gcnt infer design.bench --model model.json [--threshold F]\n\
          \x20 gcnt flow design.bench --model model.json [--out modified.bench]\n\
-         \x20 gcnt atpg design.bench [--patterns N]"
+         \x20 gcnt atpg design.bench [--patterns N]\n\
+         \x20 gcnt lint design.bench [--model model.json] [--format text|json]"
     );
 }
 
@@ -304,6 +307,37 @@ fn cmd_flow(
     if let Some(out) = options.get("out") {
         fs::write(out, format::write(&net))?;
         println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_lint(
+    positional: &[String],
+    options: &HashMap<String, String>,
+) -> Result<(), Box<dyn Error>> {
+    let path = positional.first().ok_or("expected a design file")?;
+    // Deliberately not load_design(): a netlist that fails validation is
+    // exactly what the linter is for, so parse without validating.
+    let net = format::read(&fs::read_to_string(path)?)?;
+    let mut report = gcn_testability::lint::lint_design(&net);
+    if options.contains_key("model") {
+        let bundle = load_model(options)?;
+        report.merge(gcn_testability::lint::lint_multistage(
+            &bundle.model,
+            "model",
+        ));
+    }
+    match options.get("format").map(String::as_str) {
+        None | Some("text") => print!("{report}"),
+        Some("json") => println!("{}", report.to_json()),
+        Some(other) => return Err(format!("unknown format '{other}' (use text or json)").into()),
+    }
+    if report.has_errors() {
+        return Err(format!(
+            "lint found {} error(s)",
+            report.count(gcn_testability::lint::Severity::Error)
+        )
+        .into());
     }
     Ok(())
 }

@@ -20,6 +20,7 @@
 //! | [`gcn`] | the GCN model, multi-stage cascade, sparse + recursive inference, (parallel) training |
 //! | [`mlbase`] | LR / RF / SVM / MLP baselines with cone features |
 //! | [`dft`] | logic simulation, CPT, ATPG, labeling, both OP-insertion flows |
+//! | [`lint`] | cross-crate static analysis: netlist, tensor and model invariants with stable rule ids |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@
 
 pub use gcnt_core as gcn;
 pub use gcnt_dft as dft;
+pub use gcnt_lint as lint;
 pub use gcnt_mlbase as mlbase;
 pub use gcnt_netlist as netlist;
 pub use gcnt_nn as nn;

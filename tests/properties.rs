@@ -4,9 +4,10 @@
 use proptest::prelude::*;
 
 use gcn_testability::gcn::{recursive, Gcn, GcnConfig, GraphData, GraphTensors};
+use gcn_testability::lint::{lint_csr, lint_netlist, lint_scoap, RuleId};
 use gcn_testability::netlist::{generate, CellKind, GeneratorConfig, Netlist, Scoap, SCOAP_INF};
 use gcn_testability::nn::seeded_rng;
-use gcn_testability::tensor::{CooMatrix, Matrix};
+use gcn_testability::tensor::{CooMatrix, CsrMatrix, Matrix};
 
 /// Strategy: a small random DAG netlist built the same way the generator
 /// guarantees acyclicity (fanins only from earlier nodes), with all
@@ -165,6 +166,122 @@ proptest! {
                 prop_assert!((via_csr.get(r, c) - direct.get(r, c)).abs() < 1e-4);
             }
         }
+    }
+
+    /// Mutation: dropping an edge whose sink sits at its arity lower bound
+    /// must trip the linter (`NL002` if fanins remain, `NL004` if none do).
+    #[test]
+    fn lint_catches_dropped_edge(net in arb_netlist(), pick in any::<u32>()) {
+        prop_assert!(lint_netlist(&net).is_clean());
+        // Edges whose removal necessarily breaks the sink's arity.
+        let brittle: Vec<(usize, usize)> = net
+            .nodes()
+            .filter(|&v| {
+                let lo = net.kind(v).arity().0;
+                lo > 0 && net.fanin(v).len() == lo
+            })
+            .flat_map(|v| net.fanin(v).iter().map(move |&u| (u.index(), v.index())))
+            .collect();
+        prop_assume!(!brittle.is_empty());
+        let (drop_src, drop_sink) = brittle[pick as usize % brittle.len()];
+        // The netlist has no edge removal; rebuild it without the edge.
+        let mut mutated = Netlist::new("mutated");
+        for v in net.nodes() {
+            mutated.add_cell(net.kind(v));
+        }
+        for v in net.nodes() {
+            for &u in net.fanin(v) {
+                if (u.index(), v.index()) == (drop_src, drop_sink) {
+                    continue;
+                }
+                mutated.connect(u, v).unwrap();
+            }
+        }
+        let report = lint_netlist(&mutated);
+        prop_assert!(
+            report.fired(RuleId::BadArity) || report.fired(RuleId::FloatingInput),
+            "dropping {drop_src}->{drop_sink} went unnoticed:\n{report}"
+        );
+    }
+
+    /// Mutation: adding a back edge between two connected combinational
+    /// gates must trip `NL001 combinational-cycle`.
+    #[test]
+    fn lint_catches_back_edge(net in arb_netlist(), pick in any::<u32>()) {
+        let gate_edges: Vec<_> = net
+            .nodes()
+            .filter(|&v| !net.kind(v).is_pseudo_input() && !net.kind(v).is_pseudo_output())
+            .flat_map(|v| {
+                net.fanin(v)
+                    .iter()
+                    .filter(|&&u| !net.kind(u).is_pseudo_input())
+                    .map(move |&u| (u, v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        prop_assume!(!gate_edges.is_empty());
+        let (u, v) = gate_edges[pick as usize % gate_edges.len()];
+        let mut mutated = net.clone();
+        mutated.connect(v, u).unwrap(); // u -> v already exists: a 2-cycle
+        let report = lint_netlist(&mutated);
+        prop_assert!(
+            report.fired(RuleId::CombinationalCycle),
+            "back edge {} -> {} went unnoticed:\n{report}",
+            v.index(),
+            u.index()
+        );
+    }
+
+    /// Mutation: pushing any single SCOAP measure out of its legal range
+    /// must trip `NL006 scoap-range`.
+    #[test]
+    fn lint_catches_corrupt_scoap(net in arb_netlist(), pick in any::<u32>(), which in 0usize..3) {
+        let good = Scoap::compute(&net).unwrap();
+        prop_assert!(lint_scoap(&net, &good).is_clean());
+        let node = pick as usize % net.node_count();
+        let mut cc0 = good.cc0_all().to_vec();
+        let mut cc1 = good.cc1_all().to_vec();
+        let mut co = good.co_all().to_vec();
+        match which {
+            0 => cc0[node] = 0,                        // below the [1, INF] floor
+            1 => cc1[node] = SCOAP_INF + 1,            // above the ceiling
+            _ => co[node] = u32::MAX,                  // way above the ceiling
+        }
+        let bad = Scoap::from_raw_parts(cc0, cc1, co);
+        let report = lint_scoap(&net, &bad);
+        prop_assert!(
+            report.fired(RuleId::ScoapRange),
+            "corrupting measure {which} of node {node} went unnoticed:\n{report}"
+        );
+    }
+
+    /// Mutation: reversing the column order of any CSR row with two or
+    /// more entries must trip `TS002 csr-sorted-indices`.
+    #[test]
+    fn lint_catches_shuffled_csr_columns(net in arb_netlist(), pick in any::<u32>()) {
+        let t = GraphTensors::from_netlist(&net);
+        let csr = t.pred();
+        prop_assert!(lint_csr(csr, "pred").is_clean());
+        let indptr = csr.indptr();
+        let wide_rows: Vec<usize> = (0..csr.rows())
+            .filter(|&r| indptr[r + 1] - indptr[r] >= 2)
+            .collect();
+        prop_assume!(!wide_rows.is_empty());
+        let row = wide_rows[pick as usize % wide_rows.len()];
+        let mut indices = csr.indices().to_vec();
+        indices[indptr[row]..indptr[row + 1]].reverse();
+        let shuffled = CsrMatrix::from_raw_parts_unchecked(
+            csr.rows(),
+            csr.cols(),
+            indptr.to_vec(),
+            indices,
+            csr.values().to_vec(),
+        );
+        let report = lint_csr(&shuffled, "pred");
+        prop_assert!(
+            report.fired(RuleId::CsrSortedIndices),
+            "shuffling row {row} went unnoticed:\n{report}"
+        );
     }
 
     /// spmm distributes over dense addition: A(X + Y) = AX + AY.
