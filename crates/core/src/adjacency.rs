@@ -157,17 +157,18 @@ impl GraphTensors {
     /// identity diagonal is implicit here because aggregation adds `E`
     /// directly) and rebuilds the CSR forms.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `op` is not the next node index after the current node
-    /// count (i.e. the tensors are out of sync with the netlist).
-    pub fn insert_observation_point(&mut self, target: NodeId, op: NodeId) {
-        assert_eq!(
-            op.index(),
-            self.n,
-            "tensors out of sync with netlist: expected op index {}",
-            self.n
-        );
+    /// Returns [`gcnt_tensor::TensorError::LengthMismatch`] if `op` is not
+    /// the next node index after the current node count (i.e. the tensors
+    /// are out of sync with the netlist); the tensors are left untouched.
+    pub fn insert_observation_point(&mut self, target: NodeId, op: NodeId) -> Result<()> {
+        if op.index() != self.n {
+            return Err(gcnt_tensor::TensorError::LengthMismatch {
+                expected: self.n,
+                actual: op.index(),
+            });
+        }
         self.n += 1;
         self.pred_coo.grow(self.n, self.n);
         self.succ_coo.grow(self.n, self.n);
@@ -180,6 +181,7 @@ impl GraphTensors {
         self.pred_lists.push(vec![target.index() as u32]);
         self.succ_lists.push(Vec::new());
         self.succ_lists[target.index()].push(op.index() as u32);
+        Ok(())
     }
 }
 
@@ -247,7 +249,7 @@ mod tests {
         let (mut net, _, g, _) = tiny_net();
         let mut t = GraphTensors::from_netlist(&net);
         let op = net.insert_observation_point(g).unwrap();
-        t.insert_observation_point(g, op);
+        t.insert_observation_point(g, op).unwrap();
         assert_eq!(t.node_count(), 4);
         assert_eq!(t.pred_lists()[op.index()], vec![g.index() as u32]);
         assert!(t.succ_lists()[g.index()].contains(&(op.index() as u32)));
@@ -257,12 +259,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of sync")]
-    fn out_of_sync_insert_panics() {
+    fn out_of_sync_insert_is_an_error() {
         let (net, _, g, _) = tiny_net();
         let mut t = GraphTensors::from_netlist(&net);
+        let before = t.clone();
         // Claim an op id that skips an index.
-        t.insert_observation_point(g, NodeId::from_index(10));
+        let err = t.insert_observation_point(g, NodeId::from_index(10));
+        assert!(matches!(
+            err,
+            Err(gcnt_tensor::TensorError::LengthMismatch {
+                expected: 3,
+                actual: 10
+            })
+        ));
+        // The tensors are untouched after the rejected insert.
+        assert_eq!(t, before);
     }
 
     #[test]

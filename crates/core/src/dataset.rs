@@ -69,15 +69,33 @@ impl GraphData {
     ///
     /// # Panics
     ///
-    /// Panics if `labels.len()` differs from the node count.
-    pub fn with_labels(mut self, labels: Vec<u8>) -> Self {
-        assert_eq!(
-            labels.len(),
-            self.tensors.node_count(),
-            "one label per node"
-        );
+    /// Panics if `labels.len()` differs from the node count;
+    /// [`GraphData::try_with_labels`] reports the same condition as a typed
+    /// error instead.
+    pub fn with_labels(self, labels: Vec<u8>) -> Self {
+        match self.try_with_labels(labels) {
+            Ok(d) => d,
+            Err(e) => panic!("one label per node: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`GraphData::with_labels`] for callers (CLI,
+    /// checkpoint restore) that must surface a label/node mismatch as an
+    /// error rather than a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gcnt_tensor::TensorError::LengthMismatch`] if
+    /// `labels.len()` differs from the node count.
+    pub fn try_with_labels(mut self, labels: Vec<u8>) -> gcnt_tensor::Result<Self> {
+        if labels.len() != self.tensors.node_count() {
+            return Err(gcnt_tensor::TensorError::LengthMismatch {
+                expected: self.tensors.node_count(),
+                actual: labels.len(),
+            });
+        }
         self.labels = labels;
-        self
+        Ok(self)
     }
 
     /// Number of nodes.
@@ -169,6 +187,20 @@ mod tests {
     #[should_panic(expected = "one label per node")]
     fn wrong_label_count_panics() {
         data().with_labels(vec![0, 1]);
+    }
+
+    #[test]
+    fn try_with_labels_reports_typed_error() {
+        let d = data();
+        let n = d.node_count();
+        let err = d.clone().try_with_labels(vec![0, 1]);
+        assert!(matches!(
+            err,
+            Err(gcnt_tensor::TensorError::LengthMismatch { expected, actual })
+                if expected == n && actual == 2
+        ));
+        let ok = d.try_with_labels(vec![0; n]).unwrap();
+        assert_eq!(ok.labels.len(), n);
     }
 
     #[test]

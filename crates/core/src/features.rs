@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use gcnt_netlist::{logic_levels, Netlist, Result as NetResult, Scoap};
-use gcnt_tensor::{ops, Matrix};
+use gcnt_tensor::{ops, Matrix, Result as TensorResult, TensorError};
 
 /// Number of raw node attributes: `[LL, C0, C1, O]`.
 pub const RAW_DIM: usize = 4;
@@ -93,18 +93,39 @@ impl FeatureNormalizer {
     ///
     /// # Panics
     ///
-    /// Panics if `mats` is empty or the matrices disagree on column count.
+    /// Panics if `mats` is empty or the matrices disagree on column count;
+    /// [`FeatureNormalizer::try_fit`] reports the same conditions as a
+    /// typed error instead.
     pub fn fit(mats: &[&Matrix]) -> Self {
-        assert!(!mats.is_empty(), "need at least one matrix to fit");
-        let cols = mats[0].cols();
-        let mut stacked = mats[0].clone();
-        for m in &mats[1..] {
-            assert_eq!(m.cols(), cols, "feature dimension mismatch");
-            stacked = stacked.vstack(m).expect("column counts match");
+        match Self::try_fit(mats) {
+            Ok(n) => n,
+            Err(e) => panic!("FeatureNormalizer::fit: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`FeatureNormalizer::fit`] for callers (CLI,
+    /// checkpoint restore) that must surface bad input as an error rather
+    /// than a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `mats` is empty and
+    /// [`TensorError::ShapeMismatch`] when the matrices disagree on column
+    /// count.
+    pub fn try_fit(mats: &[&Matrix]) -> TensorResult<Self> {
+        let Some((first, rest)) = mats.split_first() else {
+            return Err(TensorError::LengthMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        };
+        let mut stacked = (*first).clone();
+        for m in rest {
+            stacked = stacked.vstack(m)?;
         }
         let means = ops::column_means(&stacked);
         let stds = ops::column_stds(&stacked, &means);
-        FeatureNormalizer { means, stds }
+        Ok(FeatureNormalizer { means, stds })
     }
 
     /// Applies the normalisation to a raw feature matrix.
@@ -119,7 +140,8 @@ impl FeatureNormalizer {
     /// Normalises the [`OBSERVATION_POINT_ATTRS`] row for appending to a
     /// normalised feature matrix.
     pub fn observation_point_row(&self) -> Vec<f32> {
-        let raw = Matrix::from_rows(&[&OBSERVATION_POINT_ATTRS]).expect("static row");
+        let mut raw = Matrix::zeros(1, RAW_DIM);
+        raw.row_mut(0).copy_from_slice(&OBSERVATION_POINT_ATTRS);
         self.apply(&raw).row(0).to_vec()
     }
 
@@ -227,6 +249,21 @@ mod tests {
         );
         let logits = gcn.predict(&t, &x).unwrap();
         assert_eq!(logits.rows(), net.node_count());
+    }
+
+    #[test]
+    fn try_fit_reports_typed_errors() {
+        assert!(matches!(
+            FeatureNormalizer::try_fit(&[]),
+            Err(TensorError::LengthMismatch { .. })
+        ));
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        assert!(matches!(
+            FeatureNormalizer::try_fit(&[&a, &b]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(FeatureNormalizer::try_fit(&[&a]).is_ok());
     }
 
     #[test]

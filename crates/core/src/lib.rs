@@ -43,5 +43,10 @@ pub mod train;
 
 pub use adjacency::GraphTensors;
 pub use dataset::{balanced_indices, train_test_rotation, GraphData};
+pub use metrics::Confusion;
 pub use model::{Gcn, GcnCache, GcnConfig, GcnGrads};
 pub use multistage::{MultiStageConfig, MultiStageGcn, StageReport};
+pub use parallel::train_parallel;
+pub use train::{
+    apply_update, epoch_grads, evaluate, masked_loss_grads, optimizer_for, EpochStats, TrainConfig,
+};

@@ -293,6 +293,22 @@ impl Gcn {
         out.extend(self.head.params_mut());
         out
     }
+
+    /// Flat parameter slice lengths in [`Gcn::params_mut`] order, without
+    /// borrowing mutably — the shape a checkpoint loader validates saved
+    /// optimiser state against.
+    pub fn param_lens(&self) -> Vec<usize> {
+        let mut out = vec![2usize];
+        for enc in &self.encoders {
+            out.push(enc.weight().as_slice().len());
+            out.push(enc.bias().len());
+        }
+        for layer in self.head.layers() {
+            out.push(layer.weight().as_slice().len());
+            out.push(layer.bias().len());
+        }
+        out
+    }
 }
 
 impl GcnGrads {
@@ -329,6 +345,26 @@ impl GcnGrads {
         }
         out.extend(self.head.params());
         out
+    }
+
+    /// Global L2 norm over every gradient value — the quantity a
+    /// divergence guard compares against an exploding-gradient limit.
+    pub fn l2_norm(&self) -> f32 {
+        let sum: f64 = self
+            .params()
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|&g| f64::from(g) * f64::from(g))
+            .sum();
+        sum.sqrt() as f32
+    }
+
+    /// Whether every gradient value is finite.
+    pub fn is_finite(&self) -> bool {
+        self.params()
+            .iter()
+            .flat_map(|s| s.iter())
+            .all(|g| g.is_finite())
     }
 }
 
@@ -536,5 +572,25 @@ mod tests {
         let json = serde_json::to_string(&gcn).unwrap();
         let back: Gcn = serde_json::from_str(&json).unwrap();
         assert_eq!(gcn, back);
+    }
+
+    #[test]
+    fn param_lens_match_params_mut() {
+        let mut gcn = Gcn::new(&tiny_cfg(), &mut seeded_rng(8));
+        let lens = gcn.param_lens();
+        let mut_lens: Vec<usize> = gcn.params_mut().iter().map(|s| s.len()).collect();
+        assert_eq!(lens, mut_lens);
+    }
+
+    #[test]
+    fn grad_norm_and_finiteness() {
+        let gcn = Gcn::new(&tiny_cfg(), &mut seeded_rng(9));
+        let mut grads = gcn.zero_grads();
+        assert_eq!(grads.l2_norm(), 0.0);
+        assert!(grads.is_finite());
+        grads.agg_weights = [3.0, 4.0];
+        assert!((grads.l2_norm() - 5.0).abs() < 1e-6);
+        grads.head.layers[0].bias[0] = f32::NAN;
+        assert!(!grads.is_finite());
     }
 }

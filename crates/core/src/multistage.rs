@@ -161,9 +161,29 @@ impl MultiStageGcn {
         ))
     }
 
+    /// Reassembles a cascade from already-trained stages — the resume path
+    /// of a checkpointed training run, where completed stages are restored
+    /// from disk and only the remaining ones are retrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn from_stages(stages: Vec<Gcn>, filter_threshold: f32) -> Self {
+        assert!(!stages.is_empty(), "a cascade needs at least one stage");
+        MultiStageGcn {
+            stages,
+            filter_threshold,
+        }
+    }
+
     /// The trained stages.
     pub fn stages(&self) -> &[Gcn] {
         &self.stages
+    }
+
+    /// The per-stage negative-filter threshold.
+    pub fn filter_threshold(&self) -> f32 {
+        self.filter_threshold
     }
 
     /// Predicts a binary label per node: a node is positive iff it survives
@@ -307,6 +327,16 @@ mod tests {
     #[should_panic(expected = "at least one training graph")]
     fn empty_graph_list_panics() {
         let _ = MultiStageGcn::train(&small_cfg(1), &[]);
+    }
+
+    #[test]
+    fn from_stages_round_trips() {
+        let d = imbalanced_data(75);
+        let mut cfg = small_cfg(2);
+        cfg.epochs_per_stage = 2;
+        let (model, _) = MultiStageGcn::train(&cfg, &[&d]).unwrap();
+        let rebuilt = MultiStageGcn::from_stages(model.stages().to_vec(), model.filter_threshold());
+        assert_eq!(model, rebuilt);
     }
 
     #[test]

@@ -84,6 +84,43 @@ pub fn masked_loss_grads(
     Ok((loss, grads, preds))
 }
 
+/// Computes one full-batch epoch over all graphs *without* applying the
+/// parameter update: the mean loss, the mean gradient (graphs summed in
+/// order, then scaled by `1 / graphs.len()`), and the merged confusion of
+/// the masked predictions.
+///
+/// This is the shared epoch kernel of [`train`] and the resilient trainer
+/// in `gcnt-runtime`: both must produce bit-identical updates, so both go
+/// through this function (or, for the parallel scheme, sum per-worker
+/// results in the same fixed graph order).
+///
+/// # Errors
+///
+/// Returns a shape error if any graph disagrees with the model.
+///
+/// # Panics
+///
+/// Panics if `graphs` and `masks` lengths differ, or a graph is unlabeled.
+pub fn epoch_grads(
+    gcn: &Gcn,
+    graphs: &[&GraphData],
+    masks: &[Vec<usize>],
+    class_weights: &[f32; 2],
+) -> Result<(f32, GcnGrads, Confusion)> {
+    assert_eq!(graphs.len(), masks.len(), "one mask per graph");
+    let mut total = gcn.zero_grads();
+    let mut loss_sum = 0.0f32;
+    let mut confusion = Confusion::default();
+    for (data, mask) in graphs.iter().zip(masks) {
+        let (loss, grads, preds) = masked_loss_grads(gcn, data, mask, class_weights)?;
+        total.accumulate(&grads);
+        loss_sum += loss;
+        confusion.merge(&Confusion::from_predictions(&data.labels_at(mask), &preds));
+    }
+    total.scale(1.0 / graphs.len() as f32);
+    Ok((loss_sum / graphs.len() as f32, total, confusion))
+}
+
 /// Trains on one or more graphs with plain SGD, summing gradients across
 /// graphs each epoch (the serial reference for the parallel scheme of
 /// §3.4.2). `masks[i]` selects the training nodes of `graphs[i]`.
@@ -108,20 +145,11 @@ pub fn train(
     let mut optimizer = optimizer_for(gcn, cfg);
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
-        let mut total = gcn.zero_grads();
-        let mut loss_sum = 0.0f32;
-        let mut confusion = Confusion::default();
-        for (data, mask) in graphs.iter().zip(masks) {
-            let (loss, grads, preds) = masked_loss_grads(gcn, data, mask, &class_weights)?;
-            total.accumulate(&grads);
-            loss_sum += loss;
-            confusion.merge(&Confusion::from_predictions(&data.labels_at(mask), &preds));
-        }
-        total.scale(1.0 / graphs.len() as f32);
+        let (loss, total, confusion) = epoch_grads(gcn, graphs, masks, &class_weights)?;
         apply_update(gcn, &total, cfg, &mut optimizer);
         history.push(EpochStats {
             epoch,
-            loss: loss_sum / graphs.len() as f32,
+            loss,
             train_accuracy: confusion.accuracy(),
         });
     }
@@ -130,7 +158,10 @@ pub fn train(
 
 /// Builds the optimiser state for a training run (`None` when plain SGD
 /// suffices, i.e. zero momentum).
-pub(crate) fn optimizer_for(gcn: &mut Gcn, cfg: &TrainConfig) -> Option<gcnt_nn::ModelOptimizer> {
+///
+/// Public so checkpoint-aware trainers can rebuild matching state when a
+/// checkpoint carries none.
+pub fn optimizer_for(gcn: &mut Gcn, cfg: &TrainConfig) -> Option<gcnt_nn::ModelOptimizer> {
     if cfg.momentum == 0.0 {
         return None;
     }
@@ -145,8 +176,9 @@ pub(crate) fn optimizer_for(gcn: &mut Gcn, cfg: &TrainConfig) -> Option<gcnt_nn:
 }
 
 /// Applies one parameter update, through the momentum optimiser when one
-/// is present.
-pub(crate) fn apply_update(
+/// is present. `cfg.lr` is read on the plain-SGD path; a trainer that
+/// backs off the learning rate passes an adjusted copy of the config.
+pub fn apply_update(
     gcn: &mut Gcn,
     grads: &GcnGrads,
     cfg: &TrainConfig,

@@ -122,6 +122,13 @@ pub struct FlowConfig {
     pub prob_threshold: f32,
     /// Cap on the fan-in cone size used for impact counting (Fig. 6).
     pub cone_limit: usize,
+    /// Maximum failed insertions tolerated across the whole run. A failed
+    /// insertion rolls the design back to the state before the attempt
+    /// and skips that candidate (recorded in [`FlowOutcome::skipped`]);
+    /// once the budget is spent, the next failure propagates. `0` (the
+    /// default) disables the snapshotting entirely: every failure is
+    /// immediately fatal, exactly as if the budget did not exist.
+    pub skip_budget: usize,
 }
 
 impl Default for FlowConfig {
@@ -132,6 +139,7 @@ impl Default for FlowConfig {
             candidate_limit: 24,
             prob_threshold: 0.5,
             cone_limit: 500,
+            skip_budget: 0,
         }
     }
 }
@@ -158,6 +166,9 @@ pub struct FlowOutcome {
     pub remaining_positives: usize,
     /// Per-iteration history.
     pub history: Vec<IterationStats>,
+    /// Candidates whose insertion failed and was rolled back under
+    /// [`FlowConfig::skip_budget`], in the order they were skipped.
+    pub skipped: Vec<NodeId>,
 }
 
 /// Runs the iterative GCN-guided OP insertion flow, mutating `net`.
@@ -171,10 +182,16 @@ pub struct FlowOutcome {
 /// the flow is inductive and re-applies the training statistics to the
 /// modified design.
 ///
+/// A failed insertion normally aborts the flow; with a non-zero
+/// [`FlowConfig::skip_budget`] the design is instead rolled back to the
+/// state just before the failing attempt and the candidate is skipped
+/// (listed in [`FlowOutcome::skipped`]). `net` is always left in the last
+/// consistent state, even when an error is returned.
+///
 /// # Errors
 ///
-/// Returns [`FlowError`] if the netlist is cyclic or the classifier/graph
-/// shapes disagree.
+/// Returns [`FlowError`] if the netlist is cyclic, the classifier/graph
+/// shapes disagree, or an insertion fails with no skip budget left.
 pub fn run_gcn_opi<F>(
     net: &mut Netlist,
     normalizer: &FeatureNormalizer,
@@ -184,10 +201,69 @@ pub fn run_gcn_opi<F>(
 where
     F: Fn(&GraphTensors, &Matrix) -> Result<Vec<f32>, TensorError>,
 {
+    run_flow(net, normalizer, classify, cfg, commit_insertion)
+}
+
+/// The incrementally maintained per-run design state: everything an
+/// insertion mutates, grouped so a failed insertion can be rolled back as
+/// one unit under [`FlowConfig::skip_budget`].
+#[derive(Clone)]
+struct FlowState {
+    net: Netlist,
+    tensors: GraphTensors,
+    scoap: Scoap,
+    raw: Vec<[f32; RAW_DIM]>,
+    stale: Vec<bool>,
+}
+
+/// Commits one observation point at `target`: structural netlist update,
+/// incremental tensor append, SCOAP refresh over the changed cone, and
+/// the new node's attribute row. Leaves `state` untouched on the lint
+/// error path only by accident of ordering — callers that need rollback
+/// must snapshot before calling.
+fn commit_insertion(state: &mut FlowState, target: NodeId) -> Result<(), FlowError> {
+    let op = state.net.insert_observation_point(target)?;
+    if op.index() != state.tensors.node_count() {
+        let mut report = LintReport::new();
+        report.report(
+            RuleId::AdjacencyNetlistMismatch,
+            "flow",
+            format!(
+                "new node {} is not the tensors' next row ({} nodes modeled)",
+                op.index(),
+                state.tensors.node_count()
+            ),
+        );
+        return Err(report.into());
+    }
+    state.tensors.insert_observation_point(target, op)?;
+    let changed = state.scoap.observe(&state.net, target, op);
+    for v in changed {
+        state.raw[v.index()][3] = squash(state.scoap.co(v));
+        state.stale[v.index()] = true;
+    }
+    state.raw.push(OBSERVATION_POINT_ATTRS);
+    Ok(())
+}
+
+/// The flow loop with an injectable commit step — production code enters
+/// through [`run_gcn_opi`]; tests substitute a failing commit to exercise
+/// the skip-budget rollback path.
+fn run_flow<F, C>(
+    net: &mut Netlist,
+    normalizer: &FeatureNormalizer,
+    classify: F,
+    cfg: &FlowConfig,
+    mut commit: C,
+) -> Result<FlowOutcome, FlowError>
+where
+    F: Fn(&GraphTensors, &Matrix) -> Result<Vec<f32>, TensorError>,
+    C: FnMut(&mut FlowState, NodeId) -> Result<(), FlowError>,
+{
     let levels = logic_levels(net)?;
-    let mut scoap = Scoap::compute(net)?;
+    let scoap = Scoap::compute(net)?;
     // Raw (log-squashed) attribute rows, kept as a Vec so appends are O(1).
-    let mut raw: Vec<[f32; RAW_DIM]> = (0..net.node_count())
+    let raw: Vec<[f32; RAW_DIM]> = (0..net.node_count())
         .map(|i| {
             [
                 squash(levels[i]),
@@ -197,121 +273,142 @@ where
             ]
         })
         .collect();
-    let mut tensors = GraphTensors::from_netlist(net);
+    let mut state = FlowState {
+        tensors: GraphTensors::from_netlist(net),
+        net: net.clone(),
+        scoap,
+        raw,
+        stale: Vec::new(),
+    };
 
     let mut inserted = Vec::new();
+    let mut skipped = Vec::new();
     let mut history = Vec::new();
     let mut converged = false;
     let mut remaining = 0usize;
 
-    for iteration in 0..cfg.max_iterations {
-        let features = normalizer.apply(&rows_to_matrix(&raw));
-        let probs = classify(&tensors, &features)?;
-        // Positive predictions, excluding nodes that are already observed
-        // or are themselves observe points.
-        let mut positives: Vec<(NodeId, f32)> = net
-            .nodes()
-            .filter(|&v| !matches!(net.kind(v), CellKind::Output | CellKind::Dff))
-            .filter(|&v| scoap.co(v) > 0)
-            .map(|v| (v, probs[v.index()]))
-            .filter(|&(_, p)| p >= cfg.prob_threshold)
-            .collect();
-        remaining = positives.len();
-        if positives.is_empty() {
-            converged = true;
-            history.push(IterationStats {
-                iteration,
-                positives: 0,
-                inserted: 0,
-            });
-            break;
-        }
-        // Highest-probability candidates first.
-        positives.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        positives.truncate(cfg.candidate_limit);
-
-        // Impact evaluation (Fig. 6).
-        let mut scored: Vec<(NodeId, i64, f32)> = positives
-            .iter()
-            .map(|&(v, p)| {
-                let impact = evaluate_impact(
-                    net, &scoap, &tensors, normalizer, &raw, &probs, &classify, v, cfg,
-                )
-                .unwrap_or(0);
-                (v, impact, p)
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            b.1.cmp(&a.1)
-                .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
-        });
-
-        let mut inserted_now = 0usize;
-        // Nodes whose observability improved due to an insertion committed
-        // *this* round: their predictions are stale, so defer them to the
-        // next iteration's re-inference instead of blindly observing them
-        // (one OP at a cone exit typically fixes the whole cone).
-        let mut stale = vec![false; net.node_count()];
-        for &(target, _, _) in &scored {
-            if inserted_now >= cfg.ops_per_iteration {
+    let result = (|| -> Result<(), FlowError> {
+        for iteration in 0..cfg.max_iterations {
+            let features = normalizer.apply(&rows_to_matrix(&state.raw));
+            let probs = classify(&state.tensors, &features)?;
+            // Positive predictions, excluding nodes that are already
+            // observed or are themselves observe points.
+            let mut positives: Vec<(NodeId, f32)> = state
+                .net
+                .nodes()
+                .filter(|&v| !matches!(state.net.kind(v), CellKind::Output | CellKind::Dff))
+                .filter(|&v| state.scoap.co(v) > 0)
+                .map(|v| (v, probs[v.index()]))
+                .filter(|&(_, p)| p >= cfg.prob_threshold)
+                .collect();
+            remaining = positives.len();
+            if positives.is_empty() {
+                converged = true;
+                history.push(IterationStats {
+                    iteration,
+                    positives: 0,
+                    inserted: 0,
+                });
                 break;
             }
-            if scoap.co(target) == 0 || stale[target.index()] {
-                continue;
-            }
-            let op = net.insert_observation_point(target)?;
-            if op.index() != tensors.node_count() {
-                let mut report = LintReport::new();
-                report.report(
-                    RuleId::AdjacencyNetlistMismatch,
-                    "flow",
-                    format!(
-                        "new node {} is not the tensors' next row ({} nodes modeled)",
-                        op.index(),
-                        tensors.node_count()
-                    ),
-                );
-                return Err(report.into());
-            }
-            tensors.insert_observation_point(target, op);
-            let changed = scoap.observe(net, target, op);
-            for v in changed {
-                raw[v.index()][3] = squash(scoap.co(v));
-                stale[v.index()] = true;
-            }
-            raw.push(OBSERVATION_POINT_ATTRS);
-            inserted.push(target);
-            inserted_now += 1;
-        }
-        history.push(IterationStats {
-            iteration,
-            positives: remaining,
-            inserted: inserted_now,
-        });
-        if inserted_now == 0 {
-            break; // cannot make progress
-        }
-        relint_incremental(net, &tensors, &scoap)?;
-    }
+            // Highest-probability candidates first.
+            positives.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            positives.truncate(cfg.candidate_limit);
 
-    // Final positive count if we exited by iteration cap.
-    if !converged {
-        let features = normalizer.apply(&rows_to_matrix(&raw));
-        let probs = classify(&tensors, &features)?;
-        remaining = net
-            .nodes()
-            .filter(|&v| !matches!(net.kind(v), CellKind::Output | CellKind::Dff))
-            .filter(|&v| scoap.co(v) > 0)
-            .filter(|&v| probs[v.index()] >= cfg.prob_threshold)
-            .count();
-        converged = remaining == 0;
-    }
+            // Impact evaluation (Fig. 6).
+            let mut scored: Vec<(NodeId, i64, f32)> = positives
+                .iter()
+                .map(|&(v, p)| {
+                    let impact = evaluate_impact(
+                        &state.net,
+                        &state.scoap,
+                        &state.tensors,
+                        normalizer,
+                        &state.raw,
+                        &probs,
+                        &classify,
+                        v,
+                        cfg,
+                    )
+                    .unwrap_or(0);
+                    (v, impact, p)
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                b.1.cmp(&a.1)
+                    .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+            });
+
+            let mut inserted_now = 0usize;
+            // Nodes whose observability improved due to an insertion
+            // committed *this* round: their predictions are stale, so defer
+            // them to the next iteration's re-inference instead of blindly
+            // observing them (one OP at a cone exit typically fixes the
+            // whole cone).
+            state.stale = vec![false; state.net.node_count()];
+            for &(target, _, _) in &scored {
+                if inserted_now >= cfg.ops_per_iteration {
+                    break;
+                }
+                if state.scoap.co(target) == 0 || state.stale[target.index()] {
+                    continue;
+                }
+                // Snapshot only while skip budget remains: the default
+                // budget of 0 never clones, and a spent budget means the
+                // next failure propagates anyway.
+                let snapshot = (skipped.len() < cfg.skip_budget).then(|| state.clone());
+                match commit(&mut state, target) {
+                    Ok(()) => {
+                        inserted.push(target);
+                        inserted_now += 1;
+                    }
+                    Err(e) => match snapshot {
+                        Some(prev) => {
+                            state = prev;
+                            skipped.push(target);
+                        }
+                        None => return Err(e),
+                    },
+                }
+            }
+            history.push(IterationStats {
+                iteration,
+                positives: remaining,
+                inserted: inserted_now,
+            });
+            if inserted_now == 0 {
+                break; // cannot make progress
+            }
+            relint_incremental(&state.net, &state.tensors, &state.scoap)?;
+        }
+
+        // Final positive count if we exited by iteration cap.
+        if !converged {
+            let features = normalizer.apply(&rows_to_matrix(&state.raw));
+            let probs = classify(&state.tensors, &features)?;
+            remaining = state
+                .net
+                .nodes()
+                .filter(|&v| !matches!(state.net.kind(v), CellKind::Output | CellKind::Dff))
+                .filter(|&v| state.scoap.co(v) > 0)
+                .filter(|&v| probs[v.index()] >= cfg.prob_threshold)
+                .count();
+            converged = remaining == 0;
+        }
+        Ok(())
+    })();
+
+    // Commit the (always consistent) final state back to the caller, on
+    // the error path too — every mutation before the failure survives.
+    *net = state.net;
+    result?;
 
     Ok(FlowOutcome {
         inserted,
         converged,
         remaining_positives: remaining,
         history,
+        skipped,
     })
 }
 
@@ -510,6 +607,86 @@ mod tests {
         report.report(RuleId::AdjacencyNetlistMismatch, "flow", "out of sync");
         let e = FlowError::from(report);
         assert!(e.to_string().contains("TS001"), "{e}");
+    }
+
+    #[test]
+    fn skip_budget_rolls_back_failed_insertions() {
+        let mut reference_net = shadowed_design(98);
+        let raw = gcnt_core::features::raw_features_of(&reference_net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let cfg = FlowConfig {
+            max_iterations: 20,
+            ops_per_iteration: 4,
+            candidate_limit: 8,
+            skip_budget: 3,
+            ..Default::default()
+        };
+        let reference = run_gcn_opi(&mut reference_net, &norm, oracle(2.0), &cfg).unwrap();
+        assert!(reference.skipped.is_empty(), "healthy run skips nothing");
+
+        // Same run, but the first two commit attempts fail transiently.
+        let mut net = shadowed_design(98);
+        let before = net.node_count();
+        let mut failures = 2;
+        let outcome = run_flow(&mut net, &norm, oracle(2.0), &cfg, |state, target| {
+            if failures > 0 {
+                failures -= 1;
+                // Poison the state before failing, to prove the rollback
+                // restores it rather than trusting commit to be atomic.
+                state.raw.push([9.0; RAW_DIM]);
+                return Err(FlowError::Netlist(NetlistError::UnknownNode(target)));
+            }
+            commit_insertion(state, target)
+        })
+        .unwrap();
+        assert_eq!(outcome.skipped.len(), 2, "{:?}", outcome.skipped);
+        assert!(outcome.converged, "flow must still converge: {outcome:?}");
+        // The rolled-back design stays structurally sound.
+        let report = gcnt_lint::lint_netlist_deep(&net);
+        assert!(!report.has_errors(), "{report}");
+        assert_eq!(net.node_count(), before + outcome.inserted.len());
+    }
+
+    #[test]
+    fn exhausted_skip_budget_propagates_the_error() {
+        let mut net = shadowed_design(99);
+        let raw = gcnt_core::features::raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let cfg = FlowConfig {
+            skip_budget: 1,
+            ..Default::default()
+        };
+        let before = net.node_count();
+        let err = run_flow(&mut net, &norm, oracle(2.0), &cfg, |_state, target| {
+            Err(FlowError::Netlist(NetlistError::UnknownNode(target)))
+        })
+        .unwrap_err();
+        assert!(matches!(err, FlowError::Netlist(_)), "{err}");
+        // One skip was rolled back, the second failure aborted: the
+        // caller's design is unchanged and consistent.
+        assert_eq!(net.node_count(), before);
+        assert!(!gcnt_lint::lint_netlist_deep(&net).has_errors());
+    }
+
+    #[test]
+    fn zero_skip_budget_matches_budgeted_run_when_healthy() {
+        let raw_cfg = FlowConfig {
+            max_iterations: 20,
+            ops_per_iteration: 4,
+            ..Default::default()
+        };
+        let budgeted_cfg = FlowConfig {
+            skip_budget: 5,
+            ..raw_cfg.clone()
+        };
+        let mut net_a = shadowed_design(100);
+        let mut net_b = shadowed_design(100);
+        let raw = gcnt_core::features::raw_features_of(&net_a).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let a = run_gcn_opi(&mut net_a, &norm, oracle(2.0), &raw_cfg).unwrap();
+        let b = run_gcn_opi(&mut net_b, &norm, oracle(2.0), &budgeted_cfg).unwrap();
+        assert_eq!(a, b, "budget must not perturb a failure-free run");
+        assert_eq!(net_a, net_b);
     }
 
     #[test]

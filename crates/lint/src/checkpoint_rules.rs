@@ -1,0 +1,145 @@
+//! Checkpoint rules: `CK001` checksum integrity, `CK002` format version,
+//! `CK003` required-state presence.
+//!
+//! The runtime crate owns the checkpoint *format*; this module only sees a
+//! plain [`CheckpointMeta`] summary of what was read from disk, so the lint
+//! crate stays free of a dependency on the runtime (which itself links the
+//! linter to validate restored models with the `MD` rules).
+
+use crate::report::{LintReport, RuleId};
+
+/// Format-level facts about one checkpoint file, as observed by whoever
+/// parsed it. All strings are pre-rendered so this type carries no
+/// runtime-crate types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Path (or other identifier) of the checkpoint, used as the finding
+    /// context.
+    pub path: String,
+    /// The format version the file declares.
+    pub version: u32,
+    /// The format version this build supports.
+    pub supported_version: u32,
+    /// Checksum stored in the file header (hex).
+    pub stored_checksum: String,
+    /// Checksum recomputed over the payload (hex).
+    pub computed_checksum: String,
+    /// Names of required state sections that are absent, e.g.
+    /// `"optimizer"` when a momentum run's checkpoint has no velocity.
+    pub missing_state: Vec<String>,
+}
+
+/// Checks one checkpoint's metadata: `CK001` (stored vs recomputed
+/// checksum), `CK002` (declared vs supported version), `CK003` (missing
+/// required state sections).
+pub fn lint_checkpoint_meta(meta: &CheckpointMeta) -> LintReport {
+    let mut report = LintReport::new();
+    if meta.stored_checksum != meta.computed_checksum {
+        report.report(
+            RuleId::ChecksumMismatch,
+            &meta.path,
+            format!(
+                "stored checksum {} but payload hashes to {}",
+                meta.stored_checksum, meta.computed_checksum
+            ),
+        );
+    }
+    if meta.version != meta.supported_version {
+        report.report(
+            RuleId::UnsupportedVersion,
+            &meta.path,
+            format!(
+                "checkpoint is version {} but this build supports version {}",
+                meta.version, meta.supported_version
+            ),
+        );
+    }
+    for section in &meta.missing_state {
+        report.report(
+            RuleId::MissingState,
+            &meta.path,
+            format!("required state section `{section}` is absent"),
+        );
+    }
+    report
+}
+
+/// Checks that a restored optimizer's per-parameter state lengths line up
+/// with the model's parameter lengths (`CK003`): a checkpoint whose
+/// optimizer was saved against a differently shaped model must not be
+/// resumed.
+pub fn lint_optimizer_shape(
+    path: &str,
+    model_param_lens: &[usize],
+    optimizer_param_lens: &[usize],
+) -> LintReport {
+    let mut report = LintReport::new();
+    if model_param_lens != optimizer_param_lens {
+        report.report(
+            RuleId::MissingState,
+            path,
+            format!(
+                "optimizer state shape {optimizer_param_lens:?} does not match \
+                 model parameter shape {model_param_lens:?}"
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_meta() -> CheckpointMeta {
+        CheckpointMeta {
+            path: "ckpt/epoch-5.json".to_string(),
+            version: 1,
+            supported_version: 1,
+            stored_checksum: "deadbeef".to_string(),
+            computed_checksum: "deadbeef".to_string(),
+            missing_state: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_checkpoint_yields_empty_report() {
+        assert!(lint_checkpoint_meta(&clean_meta()).is_clean());
+    }
+
+    #[test]
+    fn checksum_mismatch_fires_ck001() {
+        let mut meta = clean_meta();
+        meta.computed_checksum = "0badf00d".to_string();
+        let report = lint_checkpoint_meta(&meta);
+        assert!(report.fired(RuleId::ChecksumMismatch));
+        assert!(report.has_errors());
+        assert_eq!(RuleId::ChecksumMismatch.code(), "CK001");
+    }
+
+    #[test]
+    fn version_mismatch_fires_ck002() {
+        let mut meta = clean_meta();
+        meta.version = 99;
+        let report = lint_checkpoint_meta(&meta);
+        assert!(report.fired(RuleId::UnsupportedVersion));
+        assert!(!report.fired(RuleId::ChecksumMismatch));
+    }
+
+    #[test]
+    fn missing_sections_fire_ck003_each() {
+        let mut meta = clean_meta();
+        meta.missing_state = vec!["optimizer".to_string(), "rng".to_string()];
+        let report = lint_checkpoint_meta(&meta);
+        assert_eq!(report.of_rule(RuleId::MissingState).count(), 2);
+    }
+
+    #[test]
+    fn optimizer_shape_mismatch_fires_ck003() {
+        let ok = lint_optimizer_shape("c.json", &[2, 8, 4], &[2, 8, 4]);
+        assert!(ok.is_clean());
+        let bad = lint_optimizer_shape("c.json", &[2, 8, 4], &[2, 8]);
+        assert!(bad.fired(RuleId::MissingState));
+        assert!(bad.findings()[0].message.contains("[2, 8]"));
+    }
+}

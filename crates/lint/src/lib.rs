@@ -24,6 +24,9 @@
 //! | `TS003` | `nan-or-inf-value` | error | finite sparse-matrix values |
 //! | `MD001` | `weight-nan` | error | finite model parameters |
 //! | `MD002` | `layer-shape-mismatch` | error | adjacent model layers chain |
+//! | `CK001` | `checkpoint-checksum-mismatch` | error | checkpoint payload integrity |
+//! | `CK002` | `checkpoint-version-unsupported` | error | checkpoint format version known |
+//! | `CK003` | `checkpoint-missing-state` | error | resume state sections present |
 //!
 //! The catalogue is available programmatically via [`registry::RULES`].
 //!
@@ -37,6 +40,8 @@
 //!   matrices, standalone or against their netlist.
 //! - [`lint_linear`] / [`lint_mlp`] / [`lint_gcn`] / [`lint_multistage`]
 //!   — model parameters, e.g. after loading a checkpoint.
+//! - [`lint_checkpoint_meta`] / [`lint_optimizer_shape`] — checkpoint
+//!   file metadata (checksum, version, required state sections).
 //! - [`lint_design`] — everything derivable from a netlist in one call;
 //!   this is what `gcnt lint` runs.
 //!
@@ -63,10 +68,12 @@
 pub mod registry;
 pub mod report;
 
+mod checkpoint_rules;
 mod model_rules;
 mod netlist_rules;
 mod tensor_rules;
 
+pub use checkpoint_rules::{lint_checkpoint_meta, lint_optimizer_shape, CheckpointMeta};
 pub use model_rules::{lint_gcn, lint_linear, lint_mlp, lint_multistage};
 pub use netlist_rules::{lint_levels, lint_netlist, lint_netlist_deep, lint_scoap};
 pub use report::{Finding, LintReport, RuleId, Severity};

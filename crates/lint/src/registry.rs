@@ -9,7 +9,8 @@ pub struct RuleDescriptor {
     /// The rule's identifier.
     pub id: RuleId,
     /// Stable code, e.g. `"NL001"`. `NL` rules check netlist structure,
-    /// `TS` rules check tensors, `MD` rules check model state.
+    /// `TS` rules check tensors, `MD` rules check model state, `CK` rules
+    /// check checkpoint files.
     pub code: &'static str,
     /// Stable kebab-case slug, e.g. `"combinational-cycle"`.
     pub slug: &'static str,
@@ -98,6 +99,27 @@ pub const RULES: &[RuleDescriptor] = &[
         severity: Severity::Error,
         summary: "adjacent model layers have incompatible shapes",
     },
+    RuleDescriptor {
+        id: RuleId::ChecksumMismatch,
+        code: "CK001",
+        slug: "checkpoint-checksum-mismatch",
+        severity: Severity::Error,
+        summary: "checkpoint payload checksum differs from the stored one",
+    },
+    RuleDescriptor {
+        id: RuleId::UnsupportedVersion,
+        code: "CK002",
+        slug: "checkpoint-version-unsupported",
+        severity: Severity::Error,
+        summary: "checkpoint declares an unsupported format version",
+    },
+    RuleDescriptor {
+        id: RuleId::MissingState,
+        code: "CK003",
+        slug: "checkpoint-missing-state",
+        severity: Severity::Error,
+        summary: "checkpoint lacks state required to resume (e.g. optimizer)",
+    },
 ];
 
 /// Looks up the descriptor of a rule.
@@ -128,6 +150,7 @@ mod tests {
         assert!(RULES.iter().any(|r| r.code.starts_with("NL")));
         assert!(RULES.iter().any(|r| r.code.starts_with("TS")));
         assert!(RULES.iter().any(|r| r.code.starts_with("MD")));
-        assert_eq!(RULES.len(), 11);
+        assert!(RULES.iter().any(|r| r.code.starts_with("CK")));
+        assert_eq!(RULES.len(), 14);
     }
 }

@@ -66,6 +66,15 @@ pub enum RuleId {
     /// `MD002 layer-shape-mismatch`: adjacent model layers have
     /// incompatible shapes.
     LayerShapeMismatch,
+    /// `CK001 checkpoint-checksum-mismatch`: a checkpoint's stored
+    /// checksum disagrees with the checksum of its payload.
+    ChecksumMismatch,
+    /// `CK002 checkpoint-version-unsupported`: a checkpoint declares a
+    /// format version this build does not understand.
+    UnsupportedVersion,
+    /// `CK003 checkpoint-missing-state`: a checkpoint lacks state the
+    /// resume path needs (e.g. optimizer velocity for a momentum run).
+    MissingState,
 }
 
 impl RuleId {

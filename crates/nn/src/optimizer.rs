@@ -96,6 +96,40 @@ impl ParamOptimizer {
         }
     }
 
+    /// The algorithm this optimiser state was built for.
+    pub fn config(&self) -> OptimizerConfig {
+        self.cfg
+    }
+
+    /// Overrides the learning rate while keeping all accumulated state —
+    /// how a divergence guard backs off without discarding momentum.
+    pub fn set_lr(&mut self, lr: f32) {
+        match &mut self.cfg {
+            OptimizerConfig::Sgd(c) => c.lr = lr,
+            OptimizerConfig::Adam(c) => c.lr = lr,
+        }
+    }
+
+    /// Length of the parameter slice this state covers.
+    pub fn len(&self) -> usize {
+        self.velocity.len()
+    }
+
+    /// Whether the covered parameter slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.velocity.is_empty()
+    }
+
+    /// Whether every state value (velocity, second moments) is finite — a
+    /// deserialised checkpoint can carry NaN momentum that would poison
+    /// every subsequent step even if the weights themselves are clean.
+    pub fn is_finite(&self) -> bool {
+        self.velocity
+            .iter()
+            .chain(&self.second)
+            .all(|v| v.is_finite())
+    }
+
     /// Applies one update step.
     ///
     /// # Panics
@@ -157,6 +191,27 @@ impl ModelOptimizer {
                 .into_iter()
                 .map(|len| ParamOptimizer::new(cfg, len))
                 .collect(),
+        }
+    }
+
+    /// The per-parameter slice lengths this bank was built for, in
+    /// [`ModelOptimizer::step`] order — the shape a checkpoint loader
+    /// validates against the model it is restoring.
+    pub fn param_lens(&self) -> Vec<usize> {
+        self.params.iter().map(ParamOptimizer::len).collect()
+    }
+
+    /// Whether every per-parameter state is finite (see
+    /// [`ParamOptimizer::is_finite`]).
+    pub fn is_finite(&self) -> bool {
+        self.params.iter().all(ParamOptimizer::is_finite)
+    }
+
+    /// Overrides the learning rate of every per-parameter optimiser (see
+    /// [`ParamOptimizer::set_lr`]).
+    pub fn set_lr(&mut self, lr: f32) {
+        for p in &mut self.params {
+            p.set_lr(lr);
         }
     }
 
@@ -278,6 +333,34 @@ mod tests {
         }
         let final_loss = softmax_cross_entropy(&mlp.predict(&x).unwrap(), &labels).0;
         assert!(final_loss < initial * 0.2, "loss {initial} -> {final_loss}");
+    }
+
+    #[test]
+    fn state_export_reports_shape_and_finiteness() {
+        let mut opt = ModelOptimizer::new(OptimizerConfig::default(), [2, 3]);
+        assert_eq!(opt.param_lens(), vec![2, 3]);
+        assert!(opt.is_finite());
+        let mut a = [1.0f32, 2.0];
+        let mut b = [0.0f32, 0.0, 0.0];
+        opt.step(
+            vec![&mut a, &mut b],
+            vec![&[f32::NAN, 0.0], &[0.0, 0.0, 0.0]],
+        );
+        assert!(!opt.is_finite(), "NaN gradient must poison momentum state");
+    }
+
+    #[test]
+    fn set_lr_keeps_momentum_state() {
+        let cfg = OptimizerConfig::Sgd(SgdConfig {
+            lr: 1.0,
+            momentum: 0.5,
+        });
+        let mut opt = ParamOptimizer::new(cfg, 1);
+        let mut p = [0.0f32];
+        opt.step(&mut p, &[1.0]); // velocity = 1, p = -1
+        opt.set_lr(0.1);
+        opt.step(&mut p, &[0.0]); // velocity = 0.5, p = -1 - 0.1 * 0.5
+        assert!((p[0] + 1.05).abs() < 1e-6, "p = {}", p[0]);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Deterministic fault injection for recovery testing.
+//!
+//! A [`FaultPlan`] names exact injection points — "poison the gradient at
+//! epoch 3", "kill worker 1 at epoch 2" — so every injected failure is
+//! reproducible without a random source. The injection hooks compile to
+//! no-ops unless the `fault-inject` cargo feature is on, so production
+//! builds carry no fault paths; the CI fault-injection job runs the
+//! test-suite with the feature enabled.
+
+/// A plan of faults to inject into a training run. With the
+/// `fault-inject` feature disabled this is always the empty plan.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    #[cfg(feature = "fault-inject")]
+    nan_grad_epoch: Option<usize>,
+    #[cfg(feature = "fault-inject")]
+    kill_worker: Option<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Poisons the summed gradient with a NaN once, at the given epoch —
+    /// a transient numeric fault the divergence guard must catch and roll
+    /// back from.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_nan_grads(mut self, epoch: usize) -> Self {
+        self.nan_grad_epoch = Some(epoch);
+        self
+    }
+
+    /// Panics the given worker thread at the given epoch — a died-worker
+    /// fault the parallel trainer must recover from by recomputing that
+    /// worker's graph serially.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_worker_kill(mut self, epoch: usize, worker: usize) -> Self {
+        self.kill_worker = Some((epoch, worker));
+        self
+    }
+
+    /// Hook: corrupts `grads` if this epoch is the planned NaN injection
+    /// point. One-shot — the fault is transient, so the retry after
+    /// rollback sees clean gradients.
+    pub(crate) fn corrupt_grads(&mut self, epoch: usize, grads: &mut gcnt_core::GcnGrads) {
+        #[cfg(feature = "fault-inject")]
+        if self.nan_grad_epoch == Some(epoch) {
+            self.nan_grad_epoch = None;
+            grads.agg_weights[0] = f32::NAN;
+        }
+        let _ = (epoch, grads);
+    }
+
+    /// Hook: whether the given worker should die at the given epoch.
+    pub(crate) fn should_kill(&self, epoch: usize, worker: usize) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.kill_worker == Some((epoch, worker))
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = (epoch, worker);
+            false
+        }
+    }
+}
+
+/// Truncates a file to half its length — a torn-write simulation for
+/// checkpoint recovery tests.
+///
+/// # Panics
+///
+/// Panics on filesystem errors (test helper).
+#[cfg(feature = "fault-inject")]
+pub fn truncate_file(path: &std::path::Path) {
+    let bytes = std::fs::read(path).expect("read file to truncate");
+    std::fs::write(path, &bytes[..bytes.len() / 2]).expect("write truncated file");
+}
+
+/// Flips one bit at the given byte offset — a bit-rot simulation for
+/// checksum tests.
+///
+/// # Panics
+///
+/// Panics on filesystem errors or an out-of-range offset (test helper).
+#[cfg(feature = "fault-inject")]
+pub fn flip_byte(path: &std::path::Path, offset: usize) {
+    let mut bytes = std::fs::read(path).expect("read file to corrupt");
+    bytes[offset] ^= 0x01;
+    std::fs::write(path, bytes).expect("write corrupted file");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let mut plan = FaultPlan::none();
+        assert!(!plan.should_kill(0, 0));
+        let gcn = gcnt_core::Gcn::new(
+            &gcnt_core::GcnConfig {
+                embed_dims: vec![2],
+                fc_dims: vec![2],
+                ..gcnt_core::GcnConfig::default()
+            },
+            &mut gcnt_nn::seeded_rng(1),
+        );
+        let mut grads = gcn.zero_grads();
+        plan.corrupt_grads(0, &mut grads);
+        assert!(grads.is_finite());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn planned_faults_fire_once() {
+        let mut plan = FaultPlan::none().with_nan_grads(2).with_worker_kill(1, 0);
+        assert!(plan.should_kill(1, 0));
+        assert!(!plan.should_kill(1, 1));
+        assert!(!plan.should_kill(2, 0));
+        let gcn = gcnt_core::Gcn::new(
+            &gcnt_core::GcnConfig {
+                embed_dims: vec![2],
+                fc_dims: vec![2],
+                ..gcnt_core::GcnConfig::default()
+            },
+            &mut gcnt_nn::seeded_rng(1),
+        );
+        let mut grads = gcn.zero_grads();
+        plan.corrupt_grads(1, &mut grads);
+        assert!(grads.is_finite(), "wrong epoch must not fire");
+        plan.corrupt_grads(2, &mut grads);
+        assert!(!grads.is_finite(), "planned epoch must fire");
+        let mut grads2 = gcn.zero_grads();
+        plan.corrupt_grads(2, &mut grads2);
+        assert!(grads2.is_finite(), "fault is one-shot");
+    }
+}

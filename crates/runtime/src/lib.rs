@@ -1,0 +1,64 @@
+//! `gcnt-runtime`: the resilience layer of the GCN testability
+//! workspace.
+//!
+//! Long training runs and insertion flows fail in practice: a worker
+//! thread dies, a learning rate diverges, a machine goes down mid-write.
+//! This crate makes those failures recoverable instead of fatal:
+//!
+//! - **Checkpoint/resume** ([`CheckpointStore`], [`TrainState`]):
+//!   versioned, checksummed training checkpoints — model weights,
+//!   optimizer state, RNG state, and the epoch/stage cursor — written
+//!   atomically (temp file + fsync + rename) and pruned to the newest
+//!   `keep` files. A resumed run is bit-for-bit identical to an
+//!   uninterrupted one.
+//! - **Divergence guards** ([`TrainSession`], [`GuardConfig`]): every
+//!   epoch is checked for NaN/Inf loss, loss spikes, and exploding
+//!   gradient norms; a violation rolls the model back to the last good
+//!   state, backs off the learning rate, and retries within a bounded
+//!   budget, surfacing [`TrainError`] when the budget is exhausted.
+//!   Checkpoints are validated on load with the linter's `CK` and `MD`
+//!   rule families, falling back to older checkpoints on corruption.
+//! - **Fault injection** ([`FaultPlan`], `fault-inject` feature):
+//!   deterministic, named injection points — kill a worker thread,
+//!   poison a gradient with NaN, corrupt a checkpoint file — so the
+//!   recovery paths are tested, not hoped for.
+//!
+//! [`MultiStageTrainer`] applies all three to the paper's multi-stage
+//! cascade (§3.3), checkpointing at epoch and stage granularity.
+//!
+//! # Examples
+//!
+//! Guarded training with checkpoints, then a bit-identical resume:
+//!
+//! ```no_run
+//! use gcnt_core::{GraphData, MultiStageConfig};
+//! use gcnt_runtime::{CheckpointStore, MultiStageTrainer};
+//! # fn get_training_data() -> Vec<GraphData> { unimplemented!() }
+//!
+//! let graphs = get_training_data();
+//! let refs: Vec<&GraphData> = graphs.iter().collect();
+//! let store = CheckpointStore::open("checkpoints", 3)?;
+//! let mut trainer = MultiStageTrainer::new(MultiStageConfig::default());
+//! trainer.store = Some(&store);
+//! trainer.resume = true; // picks up where a killed run left off
+//! let outcome = trainer.run(&refs)?;
+//! println!("trained {} stages", outcome.model.stages().len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod checkpoint;
+mod fault;
+mod guard;
+mod multistage;
+
+pub use checkpoint::{
+    atomic_write, fnv1a64, CheckpointError, CheckpointStore, TrainState, CHECKPOINT_VERSION,
+};
+pub use fault::FaultPlan;
+#[cfg(feature = "fault-inject")]
+pub use fault::{flip_byte, truncate_file};
+pub use guard::{
+    DivergenceCause, GuardConfig, GuardedOutcome, ResumePoint, RollbackEvent, TrainError,
+    TrainSession,
+};
+pub use multistage::{MultiStageOutcome, MultiStageTrainer};

@@ -1,0 +1,231 @@
+//! Checkpointed, guarded multi-stage cascade training.
+//!
+//! [`MultiStageTrainer`] reproduces the exact stage loop of
+//! [`gcnt_core::MultiStageGcn::train`] — same RNG draws, same per-stage
+//! positive weight, same filtering — but runs each stage through the
+//! guarded [`TrainSession`] and checkpoints both within stages (epoch
+//! granularity) and at stage boundaries. Because the only RNG use is the
+//! per-stage weight initialisation, persisting the RNG state alongside
+//! the completed stages makes a resumed run bit-for-bit identical to an
+//! uninterrupted one.
+
+use gcnt_core::{Gcn, GraphData, MultiStageConfig, MultiStageGcn, StageReport, TrainConfig};
+use gcnt_lint::LintReport;
+
+use crate::checkpoint::{CheckpointStore, TrainState};
+use crate::fault::FaultPlan;
+use crate::guard::{GuardConfig, ResumePoint, RollbackEvent, TrainError, TrainSession};
+
+/// Result of a resilient cascade run.
+#[derive(Debug, Clone)]
+pub struct MultiStageOutcome {
+    /// The trained cascade.
+    pub model: MultiStageGcn,
+    /// Per-stage reports (identical to the plain trainer's).
+    pub reports: Vec<StageReport>,
+    /// `(stage, epoch)` the run resumed from, if a checkpoint was used.
+    pub resumed_from: Option<(usize, usize)>,
+    /// Guard rollbacks across all stages.
+    pub rollbacks: Vec<RollbackEvent>,
+    /// Died-and-recovered workers across all stages, as `(epoch, worker)`.
+    pub recovered_workers: Vec<(usize, usize)>,
+    /// Findings from checkpoints that were rejected during resume.
+    pub load_findings: LintReport,
+}
+
+/// Drives multi-stage training with checkpoint/resume and divergence
+/// guards.
+#[derive(Debug)]
+pub struct MultiStageTrainer<'a> {
+    /// Cascade configuration (shared with the plain trainer).
+    pub cfg: MultiStageConfig,
+    /// Guard policy for every stage.
+    pub guard: GuardConfig,
+    /// Where checkpoints go (`None` disables checkpointing).
+    pub store: Option<&'a CheckpointStore>,
+    /// Restore the newest usable checkpoint before training.
+    pub resume: bool,
+    /// Train each stage with one worker thread per graph.
+    pub parallel: bool,
+    /// Faults to inject (empty outside recovery tests).
+    pub fault: FaultPlan,
+}
+
+impl<'a> MultiStageTrainer<'a> {
+    /// A trainer with default guard policy and no checkpointing.
+    pub fn new(cfg: MultiStageConfig) -> Self {
+        MultiStageTrainer {
+            cfg,
+            guard: GuardConfig::default(),
+            store: None,
+            resume: false,
+            parallel: false,
+            fault: FaultPlan::none(),
+        }
+    }
+
+    /// Trains the cascade. Without a store and without faults this is
+    /// bit-for-bit identical to [`MultiStageGcn::train`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Diverged`] when a stage exhausts its retry
+    /// budget, and checkpoint/tensor failures otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty or any graph is unlabeled.
+    pub fn run(&mut self, graphs: &[&GraphData]) -> Result<MultiStageOutcome, TrainError> {
+        assert!(!graphs.is_empty(), "need at least one training graph");
+        let mut rng = gcnt_nn::seeded_rng(self.cfg.seed);
+        let mut active: Vec<Vec<usize>> = graphs
+            .iter()
+            .map(|g| (0..g.node_count()).collect())
+            .collect();
+        let mut completed: Vec<Gcn> = Vec::new();
+        let mut reports: Vec<StageReport> = Vec::new();
+        let mut start_stage = 0usize;
+        let mut mid_stage: Option<(Gcn, ResumePoint)> = None;
+        let mut resumed_from = None;
+        let mut load_findings = LintReport::new();
+
+        if self.resume {
+            if let Some(store) = self.store {
+                // The cascade trains with plain SGD (no optimizer state),
+                // but the RNG is mandatory for deterministic resumption.
+                let (state, findings) = store.load_latest(false)?;
+                load_findings = findings;
+                match state {
+                    Some(state) if state.rng.is_some() => {
+                        rng = state.rng.clone().expect("checked above");
+                        active = state.active.clone();
+                        completed = state.completed.clone();
+                        reports = state.reports.clone();
+                        start_stage = state.stage;
+                        resumed_from = Some((state.stage, state.epoch));
+                        if state.epoch > 0 && state.stage < self.cfg.stages {
+                            mid_stage = Some((
+                                state.model.clone(),
+                                ResumePoint {
+                                    epoch: state.epoch,
+                                    lr: state.lr,
+                                    retries: state.retries_used,
+                                    history: state.history.clone(),
+                                    optimizer: state.optimizer.clone(),
+                                },
+                            ));
+                        }
+                    }
+                    Some(state) => {
+                        load_findings.report(
+                            gcnt_lint::RuleId::MissingState,
+                            format!("stage {} checkpoint", state.stage),
+                            "no RNG state; cascade resume would not be \
+                             deterministic, starting fresh",
+                        );
+                    }
+                    None => {}
+                }
+            }
+        }
+
+        let mut rollbacks = Vec::new();
+        let mut recovered_workers = Vec::new();
+        for stage in start_stage..self.cfg.stages {
+            let total_active: usize = active.iter().map(Vec::len).sum();
+            let positives: usize = graphs
+                .iter()
+                .zip(&active)
+                .map(|(g, mask)| mask.iter().filter(|&&i| g.labels[i] == 1).count())
+                .sum();
+            let negatives = total_active.saturating_sub(positives);
+            let pos_weight = if positives == 0 {
+                1.0
+            } else {
+                (negatives as f32 / positives as f32).clamp(1.0, self.cfg.max_pos_weight)
+            };
+            let (mut gcn, resume_point) = match mid_stage.take() {
+                Some((model, point)) => (model, Some(point)),
+                None => (Gcn::new(&self.cfg.gcn, &mut rng), None),
+            };
+            let mut session = TrainSession {
+                cfg: TrainConfig {
+                    epochs: self.cfg.epochs_per_stage,
+                    lr: self.cfg.lr,
+                    pos_weight,
+                    momentum: 0.0,
+                },
+                guard: self.guard,
+                store: self.store,
+                resume: false,
+                parallel: self.parallel,
+                fault: std::mem::take(&mut self.fault),
+            };
+            let outcome = session.run_stage(
+                &mut gcn,
+                graphs,
+                &active,
+                resume_point,
+                |epoch, model, optimizer, lr, retries, history| TrainState {
+                    stage,
+                    epoch,
+                    lr,
+                    retries_used: retries,
+                    model: model.clone(),
+                    optimizer: optimizer.clone(),
+                    history: history.to_vec(),
+                    completed: completed.clone(),
+                    active: active.clone(),
+                    reports: reports.clone(),
+                    rng: Some(rng.clone()),
+                },
+            );
+            self.fault = std::mem::take(&mut session.fault);
+            let outcome = outcome?;
+            rollbacks.extend(outcome.rollbacks);
+            recovered_workers.extend(outcome.recovered_workers);
+
+            // Filter confident negatives, exactly as the plain trainer.
+            let mut filtered = 0usize;
+            for (g, mask) in graphs.iter().zip(active.iter_mut()) {
+                let probs = gcn.predict_proba(&g.tensors, &g.features)?;
+                let before = mask.len();
+                mask.retain(|&i| probs[i] >= self.cfg.filter_threshold);
+                filtered += before - mask.len();
+            }
+            reports.push(StageReport {
+                stage,
+                active: total_active,
+                positives,
+                pos_weight,
+                filtered,
+            });
+            completed.push(gcn);
+
+            if let Some(store) = self.store {
+                store.save(&TrainState {
+                    stage: stage + 1,
+                    epoch: 0,
+                    lr: self.cfg.lr,
+                    retries_used: 0,
+                    model: completed.last().expect("just pushed").clone(),
+                    optimizer: None,
+                    history: Vec::new(),
+                    completed: completed.clone(),
+                    active: active.clone(),
+                    reports: reports.clone(),
+                    rng: Some(rng.clone()),
+                })?;
+            }
+        }
+
+        Ok(MultiStageOutcome {
+            model: MultiStageGcn::from_stages(completed, self.cfg.filter_threshold),
+            reports,
+            resumed_from,
+            rollbacks,
+            recovered_workers,
+            load_findings,
+        })
+    }
+}

@@ -27,6 +27,7 @@ use gcn_testability::dft::labeler::{label_difficult_to_observe, LabelConfig};
 use gcn_testability::gcn::features::FeatureNormalizer;
 use gcn_testability::gcn::{GraphData, MultiStageConfig, MultiStageGcn};
 use gcn_testability::netlist::{format, generate, profile, GeneratorConfig, Netlist};
+use gcn_testability::runtime::{atomic_write, CheckpointStore, MultiStageTrainer};
 
 /// A trained model bundle: the cascade plus the feature normaliser it was
 /// trained with (both are required for inductive reuse).
@@ -62,6 +63,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "flow" => cmd_flow(&positional, &options),
         "atpg" => cmd_atpg(&positional, &options),
         "lint" => cmd_lint(&positional, &options),
+        "checkpoints" => cmd_checkpoints(&positional),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -82,10 +84,12 @@ fn print_usage() {
          \x20 gcnt stats design.bench\n\
          \x20 gcnt label design.bench [--patterns N] [--threshold F] [--out labels.json]\n\
          \x20 gcnt train a.bench [b.bench ...] --model model.json [--epochs N] [--stages N]\n\
+         \x20\x20\x20\x20 [--checkpoint-dir DIR] [--resume] [--checkpoint-every N] [--keep N]\n\
          \x20 gcnt infer design.bench --model model.json [--threshold F]\n\
-         \x20 gcnt flow design.bench --model model.json [--out modified.bench]\n\
+         \x20 gcnt flow design.bench --model model.json [--out modified.bench] [--skip-budget N]\n\
          \x20 gcnt atpg design.bench [--patterns N]\n\
-         \x20 gcnt lint design.bench [--model model.json] [--format text|json]"
+         \x20 gcnt lint design.bench [--model model.json] [--format text|json]\n\
+         \x20 gcnt checkpoints DIR"
     );
 }
 
@@ -95,7 +99,9 @@ fn split_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            if i + 1 < args.len() {
+            // A `--option` followed by another `--option` (or by nothing)
+            // is a boolean flag; only a plain token is consumed as value.
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
                 options.insert(key.to_string(), args[i + 1].clone());
                 i += 2;
                 continue;
@@ -225,7 +231,32 @@ fn cmd_train(
         ..MultiStageConfig::default()
     };
     let refs: Vec<&GraphData> = data.iter().collect();
-    let (model, reports) = MultiStageGcn::train(&ms_cfg, &refs)?;
+    let (model, reports) = match options.get("checkpoint-dir") {
+        // Resilient path: checksummed checkpoints, divergence guards, and
+        // bit-for-bit deterministic resume after an interruption.
+        Some(dir) => {
+            let store = CheckpointStore::open(dir, opt_usize(options, "keep", 3))?;
+            let mut trainer = MultiStageTrainer::new(ms_cfg);
+            trainer.guard.checkpoint_every = opt_usize(options, "checkpoint-every", 25);
+            trainer.store = Some(&store);
+            trainer.resume = options.contains_key("resume");
+            let outcome = trainer.run(&refs)?;
+            if !outcome.load_findings.is_clean() {
+                eprint!("{}", outcome.load_findings);
+            }
+            if let Some((stage, epoch)) = outcome.resumed_from {
+                println!("resumed from stage {stage}, epoch {epoch}");
+            }
+            for r in &outcome.rollbacks {
+                println!(
+                    "rollback at epoch {}: {} (lr now {:.6})",
+                    r.epoch, r.cause, r.lr_after
+                );
+            }
+            (outcome.model, outcome.reports)
+        }
+        None => MultiStageGcn::train(&ms_cfg, &refs)?,
+    };
     for r in &reports {
         println!(
             "stage {}: {} active ({} pos), pos_weight {:.1}, filtered {}",
@@ -233,14 +264,64 @@ fn cmd_train(
         );
     }
     let bundle = ModelBundle { normalizer, model };
-    fs::write(model_path, serde_json::to_string(&bundle)?)?;
+    atomic_write(
+        model_path.as_ref(),
+        serde_json::to_string(&bundle)?.as_bytes(),
+    )?;
     println!("wrote {model_path}");
     Ok(())
 }
 
 fn load_model(options: &HashMap<String, String>) -> Result<ModelBundle, Box<dyn Error>> {
     let model_path = options.get("model").ok_or("--model is required")?;
-    Ok(serde_json::from_str(&fs::read_to_string(model_path)?)?)
+    let text = fs::read_to_string(model_path)
+        .map_err(|e| format!("cannot read model '{model_path}': {e}"))?;
+    let bundle: ModelBundle = serde_json::from_str(&text)
+        .map_err(|e| format!("model '{model_path}' is not a valid model bundle: {e}"))?;
+    // Reject corrupted weights before they poison downstream predictions.
+    let report = gcn_testability::lint::lint_multistage(&bundle.model, "model");
+    if report.has_errors() {
+        return Err(format!("model '{model_path}' failed validation:\n{report}").into());
+    }
+    Ok(bundle)
+}
+
+fn cmd_checkpoints(positional: &[String]) -> Result<(), Box<dyn Error>> {
+    let dir = positional
+        .first()
+        .ok_or("expected a checkpoint directory")?;
+    let store = CheckpointStore::open(dir, usize::MAX)?;
+    let files = store.list()?;
+    if files.is_empty() {
+        println!("no checkpoints in {dir}");
+        return Ok(());
+    }
+    let mut bad = 0usize;
+    for path in &files {
+        match store.load(path, false) {
+            Ok(state) => println!(
+                "{}: stage {}, epoch {}, lr {:.6}, {} retries used{}",
+                path.display(),
+                state.stage,
+                state.epoch,
+                state.lr,
+                state.retries_used,
+                if state.rng.is_some() {
+                    ", resumable cascade"
+                } else {
+                    ""
+                }
+            ),
+            Err(e) => {
+                bad += 1;
+                println!("{}: INVALID — {e}", path.display());
+            }
+        }
+    }
+    if bad > 0 {
+        return Err(format!("{bad} of {} checkpoint(s) failed validation", files.len()).into());
+    }
+    Ok(())
 }
 
 fn cmd_infer(
@@ -284,6 +365,7 @@ fn cmd_flow(
     let cfg = FlowConfig {
         max_iterations: opt_usize(options, "iterations", 12),
         ops_per_iteration: opt_usize(options, "ops-per-iteration", 16),
+        skip_budget: opt_usize(options, "skip-budget", 0),
         ..FlowConfig::default()
     };
     let outcome = run_gcn_opi(
@@ -304,8 +386,14 @@ fn cmd_flow(
             stat.iteration, stat.positives, stat.inserted
         );
     }
+    if !outcome.skipped.is_empty() {
+        println!(
+            "skipped {} failed insertion(s) under the skip budget",
+            outcome.skipped.len()
+        );
+    }
     if let Some(out) = options.get("out") {
-        fs::write(out, format::write(&net))?;
+        atomic_write(out.as_ref(), format::write(&net).as_bytes())?;
         println!("wrote {out}");
     }
     Ok(())

@@ -21,6 +21,7 @@
 //! | [`mlbase`] | LR / RF / SVM / MLP baselines with cone features |
 //! | [`dft`] | logic simulation, CPT, ATPG, labeling, both OP-insertion flows |
 //! | [`lint`] | cross-crate static analysis: netlist, tensor and model invariants with stable rule ids |
+//! | [`runtime`] | resilience: checksummed checkpoint/resume, divergence guards, fault injection |
 //!
 //! ## Quickstart
 //!
@@ -49,4 +50,5 @@ pub use gcnt_lint as lint;
 pub use gcnt_mlbase as mlbase;
 pub use gcnt_netlist as netlist;
 pub use gcnt_nn as nn;
+pub use gcnt_runtime as runtime;
 pub use gcnt_tensor as tensor;
