@@ -1,14 +1,16 @@
 //! Flow bench (Table 3 cost model): one iteration of the GCN-guided
 //! OP-insertion flow, dominated by impact evaluation, plus the baseline
-//! testability-analysis round it replaces.
+//! testability-analysis round it replaces, plus a full-vs-incremental
+//! impact-mode comparison on a real GCN classifier.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use gcnt_core::features::FeatureNormalizer;
+use gcnt_core::{Gcn, GcnConfig, GraphData};
 use gcnt_dft::baseline::{testability_opi, BaselineConfig};
-use gcnt_dft::flow::{run_gcn_opi, FlowConfig};
+use gcnt_dft::flow::{run_gcn_opi, FlowConfig, ImpactMode};
 use gcnt_dft::labeler::LabelConfig;
-use gcnt_netlist::{generate, GeneratorConfig};
+use gcnt_netlist::{generate, GeneratorConfig, Netlist};
 use gcnt_tensor::Matrix;
 
 fn bench_flow(c: &mut Criterion) {
@@ -57,5 +59,80 @@ fn bench_flow(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flow);
+/// The seeded reference design for the impact-mode comparison: 9 levels,
+/// 400 nodes (see EXPERIMENTS.md / BENCH_flow.json).
+fn reference_design() -> (Netlist, GraphData, Gcn) {
+    let net = generate(&GeneratorConfig::sized("x", 9, 400));
+    let data = GraphData::from_netlist(&net, None).expect("acyclic");
+    let gcn = Gcn::new(
+        &GcnConfig {
+            embed_dims: vec![32, 32],
+            fc_dims: vec![32],
+            ..GcnConfig::default()
+        },
+        &mut gcnt_nn::seeded_rng(9),
+    );
+    (net, data, gcn)
+}
+
+fn mode_cfg(mode: ImpactMode) -> FlowConfig {
+    FlowConfig {
+        max_iterations: 2,
+        ops_per_iteration: 4,
+        impact_mode: mode,
+        ..FlowConfig::default()
+    }
+}
+
+fn bench_impact_modes(c: &mut Criterion) {
+    let (net, data, gcn) = reference_design();
+
+    // One-shot work accounting: the two modes are bit-identical in outcome,
+    // so the embedding-row counts are the honest comparison.
+    let full = run_gcn_opi(
+        &mut net.clone(),
+        &data.normalizer,
+        &gcn,
+        &mode_cfg(ImpactMode::Full),
+    )
+    .expect("flow runs");
+    let inc = run_gcn_opi(
+        &mut net.clone(),
+        &data.normalizer,
+        &gcn,
+        &mode_cfg(ImpactMode::Incremental),
+    )
+    .expect("flow runs");
+    assert_eq!(full.inserted, inc.inserted, "modes must agree bit-for-bit");
+    println!(
+        "flow/impact_modes: embedding rows full {} vs incremental {} ({:.1}x fewer), \
+         {} inferences over {} iterations",
+        full.inference.rows_computed,
+        inc.inference.rows_computed,
+        full.inference.rows_computed as f64 / inc.inference.rows_computed.max(1) as f64,
+        inc.inference.inferences,
+        inc.history.len(),
+    );
+
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("impact_full", ImpactMode::Full),
+        ("impact_incremental", ImpactMode::Incremental),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || net.clone(),
+                |mut net2| {
+                    run_gcn_opi(&mut net2, &data.normalizer, &gcn, &mode_cfg(mode))
+                        .expect("flow runs")
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow, bench_impact_modes);
 criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Incremental inference micro-bench: a full forward embed versus a
+//! dirty-halo session refresh (plus its revert, the preview round-trip the
+//! flow's impact scoring performs per candidate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gcnt_core::{CascadeSession, Gcn, GcnConfig, GraphData};
+use gcnt_netlist::{generate, GeneratorConfig};
+
+fn bench_incremental(c: &mut Criterion) {
+    let net = generate(&GeneratorConfig::sized("x", 9, 400));
+    let data = GraphData::from_netlist(&net, None).expect("acyclic");
+    let gcn = Gcn::new(
+        &GcnConfig {
+            embed_dims: vec![32, 32],
+            fc_dims: vec![32],
+            ..GcnConfig::default()
+        },
+        &mut gcnt_nn::seeded_rng(9),
+    );
+    let n = data.tensors.node_count();
+    let dirty: Vec<usize> = (0..8).map(|i| i * 37 % n).collect();
+
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    group.bench_function("full_embed", |b| {
+        b.iter(|| gcn.embed(&data.tensors, &data.features).expect("embeds"))
+    });
+    let mut session =
+        CascadeSession::for_gcn(&gcn, &data.tensors, &data.features).expect("session opens");
+    group.bench_function("halo_refresh_and_revert", |b| {
+        b.iter(|| {
+            let delta = session
+                .refresh(&data.tensors, &data.features, &dirty)
+                .expect("refreshes");
+            session.revert(delta);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

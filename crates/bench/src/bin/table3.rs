@@ -70,13 +70,8 @@ fn main() {
 
         // GCN flow.
         let mut gcn_design = original.clone();
-        run_gcn_opi(
-            &mut gcn_design,
-            &normalizer,
-            |t, x| model.predict_proba(t, x),
-            &FlowConfig::default(),
-        )
-        .expect("flow runs on generated designs");
+        run_gcn_opi(&mut gcn_design, &normalizer, &model, &FlowConfig::default())
+            .expect("flow runs on generated designs");
 
         // Baseline.
         let mut base_design = original.clone();

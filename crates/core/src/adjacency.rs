@@ -20,7 +20,7 @@ use gcnt_tensor::{CooMatrix, CsrMatrix, Matrix, Result};
 /// The COO originals are retained so that observation-point insertion can
 /// extend the graph incrementally — exactly the three-tuple append of §4 —
 /// followed by a cheap CSR rebuild.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GraphTensors {
     n: usize,
     pred_coo: CooMatrix,
@@ -32,6 +32,29 @@ pub struct GraphTensors {
     /// Adjacency lists for the recursion-based baseline inference.
     pred_lists: Vec<Vec<u32>>,
     succ_lists: Vec<Vec<u32>>,
+    /// Structural-update counter, bumped by every successful
+    /// [`GraphTensors::insert_observation_point`]. Embedding caches record
+    /// the generation they were built against and refuse to serve a graph
+    /// whose counter has moved on.
+    generation: u64,
+}
+
+/// Equality compares graph *content* only; `generation` is bookkeeping
+/// (how many structural updates a particular value has absorbed), so an
+/// incrementally extended graph still compares equal to a from-scratch
+/// rebuild of the same netlist.
+impl PartialEq for GraphTensors {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.pred_coo == other.pred_coo
+            && self.succ_coo == other.succ_coo
+            && self.pred == other.pred
+            && self.succ == other.succ
+            && self.pred_t == other.pred_t
+            && self.succ_t == other.succ_t
+            && self.pred_lists == other.pred_lists
+            && self.succ_lists == other.succ_lists
+    }
 }
 
 impl GraphTensors {
@@ -77,7 +100,14 @@ impl GraphTensors {
             succ_t,
             pred_lists,
             succ_lists,
+            generation: 0,
         }
+    }
+
+    /// Structural-update counter; see the field docs. Starts at 0 and is
+    /// bumped by every successful observation-point insertion.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of nodes.
@@ -134,6 +164,68 @@ impl GraphTensors {
         Ok((g, pe, se))
     }
 
+    /// Row-sliced variant of [`GraphTensors::aggregate`]: computes only the
+    /// listed rows of `G = E + w_pr * P·E + w_su * S·E`, returned as a dense
+    /// `rows.len() x e.cols()` matrix.
+    ///
+    /// Uses the same per-row kernels and the same accumulation order
+    /// (`(e + w_pr·pe) + w_su·se` per element) as the full aggregation, so
+    /// each returned row is bit-for-bit equal to the corresponding row of
+    /// the full `G` — the contract [`crate::incremental`] depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error unless `e.rows()` equals the node count, or an
+    /// index error if any requested row is out of range.
+    pub fn aggregate_rows(
+        &self,
+        e: &Matrix,
+        rows: &[usize],
+        w_pr: f32,
+        w_su: f32,
+    ) -> Result<Matrix> {
+        let pe = self.pred.spmm_rows(e, rows)?;
+        let se = self.succ.spmm_rows(e, rows)?;
+        let mut g = e.gather_rows(rows);
+        g.axpy(w_pr, &pe)?;
+        g.axpy(w_su, &se)?;
+        Ok(g)
+    }
+
+    /// Expands a dirty-node set by one aggregation hop: the result contains
+    /// every input node plus every node that reads one of them through
+    /// either the predecessor or the successor matrix (both directions,
+    /// because [`GraphTensors::aggregate`] sums over both).
+    ///
+    /// Input indices must be in bounds and the output is sorted and
+    /// deduplicated; the expansion is monotone (`rows ⊆ halo_step(rows)`),
+    /// which is what lets the incremental engine recompute a growing halo
+    /// per layer and stay exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= node_count()`.
+    pub fn halo_step(&self, rows: &[usize]) -> Vec<usize> {
+        let mut touched = vec![false; self.n];
+        for &u in rows {
+            touched[u] = true;
+            // Readers of u: nodes v with u in PR(v) are the rows of P^T at
+            // u; likewise for S. Using the cached transposes keeps this
+            // O(degree) even when a direction was built empty.
+            for (v, _) in self.pred_t.row(u) {
+                touched[v] = true;
+            }
+            for (v, _) in self.succ_t.row(u) {
+                touched[v] = true;
+            }
+        }
+        touched
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &t)| t.then_some(v))
+            .collect()
+    }
+
     /// Backward of [`GraphTensors::aggregate`] w.r.t. `E`:
     /// `dE = dG + w_pr * Pᵀ·dG + w_su * Sᵀ·dG`.
     ///
@@ -181,6 +273,7 @@ impl GraphTensors {
         self.pred_lists.push(vec![target.index() as u32]);
         self.succ_lists.push(Vec::new());
         self.succ_lists[target.index()].push(op.index() as u32);
+        self.generation += 1;
         Ok(())
     }
 }
@@ -274,6 +367,50 @@ mod tests {
         ));
         // The tensors are untouched after the rejected insert.
         assert_eq!(t, before);
+    }
+
+    #[test]
+    fn aggregate_rows_matches_full_aggregate_bitwise() {
+        let (net, ..) = tiny_net();
+        let t = GraphTensors::from_netlist(&net);
+        let e = Matrix::from_fn(3, 2, |r, c| (r as f32 + 0.3) * (c as f32 - 1.7));
+        let (full, _, _) = t.aggregate(&e, 0.62, 0.31).unwrap();
+        let sliced = t.aggregate_rows(&e, &[2, 0], 0.62, 0.31).unwrap();
+        assert_eq!(sliced.row(0), full.row(2));
+        assert_eq!(sliced.row(1), full.row(0));
+    }
+
+    #[test]
+    fn halo_step_expands_both_directions() {
+        let (net, a, g, o) = tiny_net();
+        let t = GraphTensors::from_netlist(&net);
+        // g is read by a (successor matrix) and o (predecessor matrix).
+        assert_eq!(
+            t.halo_step(&[g.index()]),
+            vec![a.index(), g.index(), o.index()]
+        );
+        // a is read by g only.
+        assert_eq!(t.halo_step(&[a.index()]), vec![a.index(), g.index()]);
+        assert!(t.halo_step(&[]).is_empty());
+    }
+
+    #[test]
+    fn generation_counts_structural_updates_but_not_equality() {
+        let (mut net, _, g, _) = tiny_net();
+        let mut t = GraphTensors::from_netlist(&net);
+        assert_eq!(t.generation(), 0);
+        let op = net.insert_observation_point(g).unwrap();
+        t.insert_observation_point(g, op).unwrap();
+        assert_eq!(t.generation(), 1);
+        // A failed insert must not bump the counter.
+        assert!(t
+            .insert_observation_point(g, NodeId::from_index(99))
+            .is_err());
+        assert_eq!(t.generation(), 1);
+        // Content equality ignores the counter: a rebuild is generation 0.
+        let fresh = GraphTensors::from_netlist(&net);
+        assert_eq!(fresh.generation(), 0);
+        assert_eq!(t, fresh);
     }
 
     #[test]

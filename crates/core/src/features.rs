@@ -145,6 +145,25 @@ impl FeatureNormalizer {
         self.apply(&raw).row(0).to_vec()
     }
 
+    /// Normalises a single raw cell value for column `col`, bit-identical
+    /// to the corresponding element of [`FeatureNormalizer::apply`].
+    ///
+    /// Used by the flow's incremental feature maintenance to patch
+    /// individual cells of an already-normalised matrix without
+    /// re-normalising the whole design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range for the fitted dimension.
+    pub fn normalize_cell(&self, col: usize, raw: f32) -> f32 {
+        let mut v = raw;
+        v -= self.means[col];
+        if self.stds[col] > 1e-12 {
+            v /= self.stds[col];
+        }
+        v
+    }
+
     /// The fitted per-column means.
     pub fn means(&self) -> &[f32] {
         &self.means
@@ -249,6 +268,20 @@ mod tests {
         );
         let logits = gcn.predict(&t, &x).unwrap();
         assert_eq!(logits.rows(), net.node_count());
+    }
+
+    #[test]
+    fn normalize_cell_matches_apply_bitwise() {
+        let net = generate(&GeneratorConfig::sized("cell", 6, 700));
+        let raw = raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let full = norm.apply(&raw);
+        for r in (0..raw.rows()).step_by(23) {
+            for c in 0..RAW_DIM {
+                let cell = norm.normalize_cell(c, raw.get(r, c));
+                assert_eq!(cell.to_bits(), full.get(r, c).to_bits(), "({r}, {c})");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,622 @@
+//! Incremental inference engine: dirty-cone embedding reuse.
+//!
+//! The paper's matrix-form inference (§3.4.1) recomputes every node
+//! embedding on every call, yet the OP-insertion flow (§4) perturbs only a
+//! handful of rows per step: a SCOAP preview touches one fan-in cone, a
+//! committed insertion appends one node. This module caches the per-layer
+//! embeddings `E_1..E_D` of a base graph state and, given the set of dirty
+//! nodes, recomputes only the *D-hop halo* around them:
+//!
+//! * the dirty frontier grows one hop per aggregate round — predecessors
+//!   *and* successors, since [`GraphTensors::aggregate`] sums over both
+//!   ([`GraphTensors::halo_step`]);
+//! * the affected rows are gathered, pushed through a row-sliced
+//!   SpMM + encode ([`GraphTensors::aggregate_rows`]), and scattered back
+//!   into the cached layer.
+//!
+//! Because every kernel involved is row-independent with an unchanged
+//! per-row accumulation order, the patched cache is **bit-for-bit equal** to
+//! a full recompute — not merely close. That exactness is load-bearing: the
+//! flow compares probabilities against a threshold, and a `1e-7` drift could
+//! flip a candidate across it.
+//!
+//! Staleness is policed with a generation counter:
+//! [`GraphTensors::insert_observation_point`] bumps
+//! [`GraphTensors::generation`], and a cache built against an older
+//! generation refuses to serve
+//! ([`gcnt_tensor::TensorError::StaleCache`]). After a committed insertion,
+//! call [`CascadeSession::sync_nodes`] to grow the cache (new rows zeroed)
+//! and adopt the new generation, then pass the insertion's dirty set to the
+//! next [`CascadeSession::refresh`].
+
+use gcnt_tensor::{ops, Matrix, Result, TensorError};
+
+use crate::{Gcn, GraphTensors, MultiStageGcn};
+
+/// Per-layer embeddings `E_1..E_D` of one [`Gcn`] on one graph state.
+///
+/// The input features `E_0 = X` are *not* owned here — callers keep a
+/// single authoritative copy and pass it to every call, so a flow state and
+/// its session never hold diverging feature matrices.
+#[derive(Debug, Clone)]
+pub struct EmbeddingCache {
+    layers: Vec<Matrix>,
+    generation: u64,
+}
+
+impl EmbeddingCache {
+    /// Generation of the graph state this cache was built against.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The cached layers `E_1..E_D` (index `d` holds `E_{d+1}`).
+    pub fn layers(&self) -> &[Matrix] {
+        &self.layers
+    }
+
+    /// The final embedding `E_D`, input of the classifier head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache holds no layers; [`Gcn::embed_cached`] always
+    /// produces at least one.
+    pub fn final_embedding(&self) -> &Matrix {
+        self.layers.last().expect("cache holds at least one layer")
+    }
+
+    /// Grows every layer to `n` rows (new rows zeroed) and adopts the given
+    /// generation — the post-insertion resync. The zero rows are
+    /// placeholders: the caller must include the new nodes in the next
+    /// dirty set so they get computed for real.
+    pub fn extend_to(&mut self, n: usize, generation: u64) {
+        for layer in &mut self.layers {
+            let zero = vec![0.0; layer.cols()];
+            while layer.rows() < n {
+                layer.push_row(&zero).expect("zero row matches layer width");
+            }
+        }
+        self.generation = generation;
+    }
+
+    /// Restores the rows recorded in `delta`, undoing the matching
+    /// [`Gcn::embed_incremental`] call. Deltas must be reverted in reverse
+    /// order of application.
+    pub fn revert(&mut self, delta: EmbeddingDelta) {
+        for (layer, (rows, old)) in self.layers.iter_mut().zip(delta.layer_undo) {
+            layer
+                .scatter_rows(&rows, &old)
+                .expect("undo rows were gathered from this layer");
+        }
+    }
+}
+
+/// Undo record plus work accounting returned by [`Gcn::embed_incremental`].
+#[derive(Debug, Clone)]
+pub struct EmbeddingDelta {
+    /// Per layer: the recomputed row indices and their previous values.
+    layer_undo: Vec<(Vec<usize>, Matrix)>,
+    rows_computed: usize,
+}
+
+impl EmbeddingDelta {
+    /// Total embedding rows recomputed across all layers (`Σ_d |S_d|`).
+    pub fn rows_computed(&self) -> usize {
+        self.rows_computed
+    }
+
+    /// Rows whose *final* embedding changed — the halo at depth `D`, i.e.
+    /// the only rows whose classification can differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta is empty; `embed_incremental` always records at
+    /// least one layer.
+    pub fn final_rows(&self) -> &[usize] {
+        &self
+            .layer_undo
+            .last()
+            .expect("delta records at least one layer")
+            .0
+    }
+}
+
+impl Gcn {
+    /// Full forward pass that retains every intermediate layer, seeding an
+    /// [`EmbeddingCache`]. `final_embedding()` is bit-identical to
+    /// [`Gcn::embed`] on the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the graph/node shape, or
+    /// a length error for a depth-0 model (nothing to cache).
+    pub fn embed_cached(&self, t: &GraphTensors, x: &Matrix) -> Result<EmbeddingCache> {
+        if self.encoders().is_empty() {
+            return Err(TensorError::LengthMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let mut layers = Vec::with_capacity(self.depth());
+        let mut e = x.clone();
+        for enc in self.encoders() {
+            let (g, _, _) = t.aggregate(&e, self.w_pr(), self.w_su())?;
+            e = ops::relu(&enc.forward(&g)?);
+            layers.push(e.clone());
+        }
+        Ok(EmbeddingCache {
+            layers,
+            generation: t.generation(),
+        })
+    }
+
+    /// Patches `cache` in place after the feature rows `dirty` changed,
+    /// recomputing only the growing halo `S_d = halo_step(S_{d-1})` per
+    /// layer. The patched cache is bit-for-bit what [`Gcn::embed_cached`]
+    /// would rebuild from scratch (see the module docs for why exactness
+    /// holds).
+    ///
+    /// The returned [`EmbeddingDelta`] can be handed to
+    /// [`EmbeddingCache::revert`] to undo the patch — the preview path of
+    /// the flow's impact scoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::StaleCache`] if the cache generation does not
+    /// match the graph, a length error if the cache shape disagrees with the
+    /// model or graph, or an index error for out-of-range dirty rows. The
+    /// cache is only mutated after all validation passes.
+    pub fn embed_incremental(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        cache: &mut EmbeddingCache,
+        dirty: &[usize],
+    ) -> Result<EmbeddingDelta> {
+        let n = t.node_count();
+        if cache.generation != t.generation() {
+            return Err(TensorError::StaleCache {
+                cache: cache.generation,
+                graph: t.generation(),
+            });
+        }
+        if cache.layers.len() != self.depth() {
+            return Err(TensorError::LengthMismatch {
+                expected: self.depth(),
+                actual: cache.layers.len(),
+            });
+        }
+        if x.rows() != n {
+            return Err(TensorError::LengthMismatch {
+                expected: n,
+                actual: x.rows(),
+            });
+        }
+        for layer in &cache.layers {
+            if layer.rows() != n {
+                return Err(TensorError::LengthMismatch {
+                    expected: n,
+                    actual: layer.rows(),
+                });
+            }
+        }
+        if let Some(&bad) = dirty.iter().find(|&&r| r >= n) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: (bad, 0),
+                shape: (n, n),
+            });
+        }
+        let mut rows: Vec<usize> = dirty.to_vec();
+        rows.sort_unstable();
+        rows.dedup();
+        let mut layer_undo = Vec::with_capacity(self.depth());
+        let mut rows_computed = 0usize;
+        for (d, enc) in self.encoders().iter().enumerate() {
+            rows = t.halo_step(&rows);
+            let prev = if d == 0 { x } else { &cache.layers[d - 1] };
+            let g = t.aggregate_rows(prev, &rows, self.w_pr(), self.w_su())?;
+            let e = ops::relu(&enc.forward(&g)?);
+            let old = cache.layers[d].gather_rows(&rows);
+            cache.layers[d].scatter_rows(&rows, &e)?;
+            rows_computed += rows.len();
+            layer_undo.push((rows.clone(), old));
+        }
+        Ok(EmbeddingDelta {
+            layer_undo,
+            rows_computed,
+        })
+    }
+}
+
+/// Undo record plus work accounting returned by [`CascadeSession::refresh`].
+#[derive(Debug, Clone)]
+pub struct SessionDelta {
+    stage_deltas: Vec<EmbeddingDelta>,
+    /// Rows whose final embedding — and hence probability — was recomputed.
+    rows: Vec<usize>,
+    /// Previous per-stage probabilities of those rows.
+    old_stage_probs: Vec<Vec<f32>>,
+    /// Previous combined probabilities of those rows.
+    old_probs: Vec<f32>,
+    rows_computed: u64,
+    rows_full: u64,
+}
+
+impl SessionDelta {
+    /// Embedding rows actually recomputed, summed over stages and layers.
+    pub fn rows_computed(&self) -> u64 {
+        self.rows_computed
+    }
+
+    /// What a full recompute would have cost in the same unit
+    /// (`Σ_stages depth × node_count`).
+    pub fn rows_full_equivalent(&self) -> u64 {
+        self.rows_full
+    }
+
+    /// Rows whose combined probability may have changed.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+}
+
+/// A live incremental-inference session over a (possibly single-stage)
+/// cascade: per-stage [`EmbeddingCache`]s plus the per-stage and combined
+/// probabilities, kept current under dirty-row refreshes.
+///
+/// The cascade stages carry *distinct* trained weights, so their embeddings
+/// cannot be shared — what is shared is the halo: the dirty set is
+/// graph-structural, so every stage recomputes the same rows and the head +
+/// filter combination runs once over that row set instead of once per node.
+///
+/// Probabilities served by [`CascadeSession::probs`] are bit-identical to
+/// [`MultiStageGcn::predict_proba`] (or [`Gcn::predict_proba`] for a
+/// single-stage session) on the same graph and features.
+#[derive(Debug, Clone)]
+pub struct CascadeSession<'m> {
+    stages: &'m [Gcn],
+    filter_threshold: f32,
+    caches: Vec<EmbeddingCache>,
+    /// `stage_probs[s][v]` = stage `s`'s positive probability for node `v`.
+    stage_probs: Vec<Vec<f32>>,
+    /// Combined cascade probability per node.
+    probs: Vec<f32>,
+}
+
+impl<'m> CascadeSession<'m> {
+    /// Opens a session over a single GCN (a one-stage cascade; the filter
+    /// threshold is never consulted because the only stage is the last).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the graph.
+    pub fn for_gcn(gcn: &'m Gcn, t: &GraphTensors, x: &Matrix) -> Result<Self> {
+        Self::open(std::slice::from_ref(gcn), 0.0, t, x)
+    }
+
+    /// Opens a session over a trained cascade.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the graph.
+    pub fn for_cascade(model: &'m MultiStageGcn, t: &GraphTensors, x: &Matrix) -> Result<Self> {
+        Self::open(model.stages(), model.filter_threshold(), t, x)
+    }
+
+    fn open(
+        stages: &'m [Gcn],
+        filter_threshold: f32,
+        t: &GraphTensors,
+        x: &Matrix,
+    ) -> Result<Self> {
+        let n = t.node_count();
+        let mut caches = Vec::with_capacity(stages.len());
+        let mut stage_probs = Vec::with_capacity(stages.len());
+        for gcn in stages {
+            let cache = gcn.embed_cached(t, x)?;
+            let probs = ops::softmax_rows(&gcn.head().predict(cache.final_embedding())?);
+            stage_probs.push((0..n).map(|r| probs.get(r, 1)).collect());
+            caches.push(cache);
+        }
+        let mut session = CascadeSession {
+            stages,
+            filter_threshold,
+            caches,
+            stage_probs,
+            probs: vec![0.0; n],
+        };
+        for r in 0..n {
+            session.probs[r] = session.combine_row(r);
+        }
+        Ok(session)
+    }
+
+    /// Per-row replica of the cascade combination in
+    /// [`MultiStageGcn::predict_proba`]; row-local, so it can be re-run for
+    /// just the refreshed rows.
+    fn combine_row(&self, r: usize) -> f32 {
+        let last = self.stage_probs.len() - 1;
+        let mut out = 0.0f32;
+        let mut alive = true;
+        for (s, sp) in self.stage_probs.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            let p = sp[r];
+            if s == last {
+                out = p;
+            } else if p < self.filter_threshold {
+                alive = false;
+                out = p.min(0.49);
+            }
+        }
+        out
+    }
+
+    /// Re-derives embeddings and probabilities after the feature rows
+    /// `dirty` changed, recomputing only each stage's D-hop halo. Returns a
+    /// delta that [`CascadeSession::revert`] can undo — the preview path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Gcn::embed_incremental`] errors (stale cache, shape or
+    /// index mismatch). Validation runs against every stage identically, so
+    /// an error from the first stage leaves the session unmutated.
+    pub fn refresh(
+        &mut self,
+        t: &GraphTensors,
+        x: &Matrix,
+        dirty: &[usize],
+    ) -> Result<SessionDelta> {
+        let mut stage_deltas = Vec::with_capacity(self.stages.len());
+        for (gcn, cache) in self.stages.iter().zip(&mut self.caches) {
+            stage_deltas.push(gcn.embed_incremental(t, x, cache, dirty)?);
+        }
+        // The halo is graph-structural, hence identical across stages.
+        let rows: Vec<usize> = stage_deltas[0].final_rows().to_vec();
+        let mut old_stage_probs = Vec::with_capacity(self.stages.len());
+        for (s, gcn) in self.stages.iter().enumerate() {
+            let gathered = self.caches[s].final_embedding().gather_rows(&rows);
+            let probs = ops::softmax_rows(&gcn.head().predict(&gathered)?);
+            let old: Vec<f32> = rows.iter().map(|&r| self.stage_probs[s][r]).collect();
+            for (i, &r) in rows.iter().enumerate() {
+                self.stage_probs[s][r] = probs.get(i, 1);
+            }
+            old_stage_probs.push(old);
+        }
+        let old_probs: Vec<f32> = rows.iter().map(|&r| self.probs[r]).collect();
+        for &r in &rows {
+            self.probs[r] = self.combine_row(r);
+        }
+        let rows_computed = stage_deltas
+            .iter()
+            .map(|d| d.rows_computed() as u64)
+            .sum::<u64>();
+        let rows_full =
+            self.stages.iter().map(|g| g.depth() as u64).sum::<u64>() * t.node_count() as u64;
+        Ok(SessionDelta {
+            stage_deltas,
+            rows,
+            old_stage_probs,
+            old_probs,
+            rows_computed,
+            rows_full,
+        })
+    }
+
+    /// Undoes a [`CascadeSession::refresh`], restoring embeddings and
+    /// probabilities bit-for-bit. Deltas must be reverted in reverse order
+    /// of application.
+    pub fn revert(&mut self, delta: SessionDelta) {
+        let SessionDelta {
+            stage_deltas,
+            rows,
+            old_stage_probs,
+            old_probs,
+            ..
+        } = delta;
+        for (cache, d) in self.caches.iter_mut().zip(stage_deltas) {
+            cache.revert(d);
+        }
+        for (sp, old) in self.stage_probs.iter_mut().zip(old_stage_probs) {
+            for (&r, v) in rows.iter().zip(old) {
+                sp[r] = v;
+            }
+        }
+        for (&r, v) in rows.iter().zip(old_probs) {
+            self.probs[r] = v;
+        }
+    }
+
+    /// Adopts a grown graph after a committed observation-point insertion:
+    /// extends every cache and probability vector to the new node count
+    /// (new entries zeroed) and the new generation. The caller must include
+    /// the inserted node and every SCOAP-changed node in the next
+    /// [`CascadeSession::refresh`] dirty set to make the placeholders real.
+    pub fn sync_nodes(&mut self, t: &GraphTensors) {
+        let n = t.node_count();
+        for cache in &mut self.caches {
+            cache.extend_to(n, t.generation());
+        }
+        for sp in &mut self.stage_probs {
+            sp.resize(n, 0.0);
+        }
+        self.probs.resize(n, 0.0);
+    }
+
+    /// Combined cascade probability per node, kept current by
+    /// [`CascadeSession::refresh`] / [`CascadeSession::sync_nodes`].
+    pub fn probs(&self) -> &[f32] {
+        &self.probs
+    }
+
+    /// The per-stage embedding caches (for consistency linting).
+    pub fn caches(&self) -> &[EmbeddingCache] {
+        &self.caches
+    }
+
+    /// Number of nodes the session currently tracks.
+    pub fn node_count(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Embedding rows one *full* inference over this session's stages would
+    /// compute for an `n`-node graph.
+    pub fn full_rows(&self, n: usize) -> u64 {
+        self.stages.iter().map(|g| g.depth() as u64).sum::<u64>() * n as u64
+    }
+}
+
+impl MultiStageGcn {
+    /// Opens an incremental-inference session for this cascade; see
+    /// [`CascadeSession`]. The session borrows the model and serves
+    /// probabilities bit-identical to [`MultiStageGcn::predict_proba`]
+    /// while recomputing only dirty-cone halos on refresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the graph.
+    pub fn open_session<'m>(&'m self, t: &GraphTensors, x: &Matrix) -> Result<CascadeSession<'m>> {
+        CascadeSession::for_cascade(self, t, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GcnConfig, GraphData};
+    use gcnt_netlist::{generate, GeneratorConfig};
+    use gcnt_nn::seeded_rng;
+
+    fn design(seed: u64, nodes: usize) -> (GraphData, gcnt_netlist::Netlist) {
+        let net = generate(&GeneratorConfig::sized("inc", seed, nodes));
+        let data = GraphData::from_netlist(&net, None).unwrap();
+        (data, net)
+    }
+
+    fn small_gcn(depth: usize, seed: u64) -> Gcn {
+        let cfg = GcnConfig {
+            embed_dims: vec![6, 5, 4][..depth].to_vec(),
+            fc_dims: vec![4],
+            ..GcnConfig::default()
+        };
+        Gcn::new(&cfg, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn embed_cached_final_layer_matches_embed() {
+        let (data, _) = design(3, 200);
+        for depth in 1..=3 {
+            let gcn = small_gcn(depth, 11);
+            let cache = gcn.embed_cached(&data.tensors, &data.features).unwrap();
+            assert_eq!(cache.layers().len(), depth);
+            let full = gcn.embed(&data.tensors, &data.features).unwrap();
+            assert_eq!(cache.final_embedding(), &full);
+        }
+    }
+
+    #[test]
+    fn embed_incremental_is_bit_identical_and_revertible() {
+        let (data, _) = design(5, 300);
+        for depth in 1..=3 {
+            let gcn = small_gcn(depth, 23);
+            let mut x = data.features.clone();
+            let mut cache = gcn.embed_cached(&data.tensors, &x).unwrap();
+            let pristine = cache.clone();
+            // Perturb a few feature rows.
+            let dirty = [7usize, 19, 19, 42];
+            for &r in &dirty {
+                x.set(r, 3, x.get(r, 3) + 1.25);
+            }
+            let delta = gcn
+                .embed_incremental(&data.tensors, &x, &mut cache, &dirty)
+                .unwrap();
+            assert!(delta.rows_computed() > 0);
+            assert!(!delta.final_rows().is_empty());
+            // Every layer equals a from-scratch recompute, bit for bit.
+            let fresh = gcn.embed_cached(&data.tensors, &x).unwrap();
+            assert_eq!(cache.layers(), fresh.layers());
+            // Revert restores the original cache, bit for bit.
+            cache.revert(delta);
+            assert_eq!(cache.layers(), pristine.layers());
+        }
+    }
+
+    #[test]
+    fn stale_cache_is_refused() {
+        let (data, mut net) = design(7, 120);
+        let gcn = small_gcn(2, 3);
+        let mut t = data.tensors.clone();
+        let mut cache = gcn.embed_cached(&t, &data.features).unwrap();
+        let target = net
+            .nodes()
+            .find(|&v| !net.fanout(v).is_empty())
+            .expect("generated design has internal nodes");
+        let op = net.insert_observation_point(target).unwrap();
+        t.insert_observation_point(target, op).unwrap();
+        let err = gcn.embed_incremental(&t, &data.features, &mut cache, &[0]);
+        assert!(matches!(
+            err,
+            Err(TensorError::StaleCache { cache: 0, graph: 1 })
+        ));
+    }
+
+    #[test]
+    fn session_probs_match_predict_proba() {
+        let (data, _) = design(9, 250);
+        let stages = vec![small_gcn(2, 31), small_gcn(2, 32), small_gcn(1, 33)];
+        let model = MultiStageGcn::from_stages(stages, 0.25);
+        let session = model.open_session(&data.tensors, &data.features).unwrap();
+        let reference = model.predict_proba(&data.tensors, &data.features).unwrap();
+        assert_eq!(session.probs(), reference.as_slice());
+        // Single-stage sessions match the bare GCN too.
+        let gcn = small_gcn(2, 41);
+        let single = CascadeSession::for_gcn(&gcn, &data.tensors, &data.features).unwrap();
+        let reference = gcn.predict_proba(&data.tensors, &data.features).unwrap();
+        assert_eq!(single.probs(), reference.as_slice());
+    }
+
+    #[test]
+    fn session_refresh_matches_full_recompute_and_reverts() {
+        let (data, _) = design(13, 300);
+        let stages = vec![small_gcn(2, 51), small_gcn(2, 52)];
+        let model = MultiStageGcn::from_stages(stages, 0.25);
+        let mut x = data.features.clone();
+        let mut session = model.open_session(&data.tensors, &x).unwrap();
+        let before = session.probs().to_vec();
+        let dirty = [3usize, 88, 120];
+        for &r in &dirty {
+            x.set(r, 3, x.get(r, 3) - 0.75);
+        }
+        let delta = session.refresh(&data.tensors, &x, &dirty).unwrap();
+        assert!(delta.rows_computed() > 0);
+        assert!(delta.rows_computed() < delta.rows_full_equivalent());
+        let reference = model.predict_proba(&data.tensors, &x).unwrap();
+        assert_eq!(session.probs(), reference.as_slice());
+        session.revert(delta);
+        assert_eq!(session.probs(), before.as_slice());
+    }
+
+    #[test]
+    fn sync_nodes_then_refresh_absorbs_an_insertion() {
+        let (data, mut net) = design(17, 200);
+        let gcn = small_gcn(2, 61);
+        let mut t = data.tensors.clone();
+        let mut x = data.features.clone();
+        let mut session = CascadeSession::for_gcn(&gcn, &t, &x).unwrap();
+        let target = net
+            .nodes()
+            .find(|&v| !net.fanout(v).is_empty())
+            .expect("generated design has internal nodes");
+        let op = net.insert_observation_point(target).unwrap();
+        t.insert_observation_point(target, op).unwrap();
+        x.push_row(&[0.0, 1.0, 1.0, 0.0]).unwrap();
+        session.sync_nodes(&t);
+        assert_eq!(session.node_count(), t.node_count());
+        session
+            .refresh(&t, &x, &[target.index(), op.index()])
+            .unwrap();
+        let reference = gcn.predict_proba(&t, &x).unwrap();
+        assert_eq!(session.probs(), reference.as_slice());
+    }
+}

@@ -14,7 +14,10 @@
 //!    millions of cells (§3.4.1, Fig. 10). The recursion-based baseline it
 //!    is compared against lives in [`recursive`].
 //! 4. [`MultiStageGcn`] implements the imbalance-handling cascade of §3.3.
-//! 5. [`train`] and [`parallel`] implement single-worker and multi-worker
+//! 5. [`incremental`] caches per-layer embeddings and, when only a few
+//!    nodes change (an OP-insertion preview or commit), recomputes just the
+//!    D-hop halo around them — bit-identical to a full pass.
+//! 6. [`train`] and [`parallel`] implement single-worker and multi-worker
 //!    data-parallel training (§3.4.2).
 //!
 //! # Examples
@@ -34,6 +37,7 @@
 mod adjacency;
 mod dataset;
 pub mod features;
+pub mod incremental;
 pub mod metrics;
 mod model;
 mod multistage;
@@ -43,6 +47,7 @@ pub mod train;
 
 pub use adjacency::GraphTensors;
 pub use dataset::{balanced_indices, train_test_rotation, GraphData};
+pub use incremental::{CascadeSession, EmbeddingCache, EmbeddingDelta, SessionDelta};
 pub use metrics::Confusion;
 pub use model::{Gcn, GcnCache, GcnConfig, GcnGrads};
 pub use multistage::{MultiStageConfig, MultiStageGcn, StageReport};

@@ -16,6 +16,18 @@
 //!    cone's observability is refreshed (§4).
 //! 4. Repeat until no positive predictions remain.
 //!
+//! # Impact modes
+//!
+//! Step 2 re-runs inference once per candidate, which makes the flow's
+//! inner loop `O(candidates × N)` embedding rows per iteration. With
+//! [`ImpactMode::Incremental`] (the default) and a classifier that
+//! supports it ([`Gcn`] or [`MultiStageGcn`], not a bare closure), the
+//! flow instead keeps a [`CascadeSession`] alive across the run and each
+//! preview only recomputes the D-hop halo of the previewed cone —
+//! `O(candidates × |cone halo|)` — with bit-identical probabilities (see
+//! `gcnt_core::incremental`). [`FlowOutcome::inference`] reports the rows
+//! actually computed against the full-recompute equivalent.
+//!
 //! Deviation from the paper, for exactness bookkeeping: during *impact
 //! preview* (step 2) the candidate's would-be OP cell is not added to the
 //! graph structure — only the attribute changes are applied. The committed
@@ -28,8 +40,10 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use gcnt_core::features::{squash, FeatureNormalizer, OBSERVATION_POINT_ATTRS, RAW_DIM};
-use gcnt_core::GraphTensors;
-use gcnt_lint::{lint_graph_tensors, lint_netlist, lint_scoap, LintReport, RuleId};
+use gcnt_core::{CascadeSession, EmbeddingCache, Gcn, GraphTensors, MultiStageGcn, SessionDelta};
+use gcnt_lint::{
+    lint_embedding_caches, lint_graph_tensors, lint_netlist, lint_scoap, LintReport, RuleId,
+};
 use gcnt_netlist::{logic_levels, CellKind, Netlist, NetlistError, NodeId, Scoap};
 use gcnt_tensor::{Matrix, TensorError};
 
@@ -87,7 +101,8 @@ impl From<LintReport> for FlowError {
 }
 
 /// Re-lints the incrementally maintained state (netlist structure, graph
-/// tensors, SCOAP vectors) after a batch of insertions.
+/// tensors, SCOAP vectors, and — when an incremental session is live —
+/// its embedding caches, rule `EC001`) after a batch of insertions.
 ///
 /// Derived artifacts drifting out of sync with the graph is exactly the
 /// failure mode incremental updates risk, and it would otherwise surface
@@ -96,14 +111,160 @@ fn relint_incremental(
     net: &Netlist,
     tensors: &GraphTensors,
     scoap: &Scoap,
+    caches: Option<&[EmbeddingCache]>,
 ) -> Result<(), FlowError> {
     let mut report = lint_netlist(net);
     report.merge(lint_graph_tensors(net, tensors));
     report.merge(lint_scoap(net, scoap));
+    if let Some(caches) = caches {
+        report.merge(lint_embedding_caches(tensors, caches));
+    }
     if report.has_errors() {
         return Err(report.into());
     }
     Ok(())
+}
+
+/// How the flow runs inference for impact previews and per-iteration
+/// re-classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImpactMode {
+    /// Full re-inference over the whole graph for every preview and every
+    /// iteration — the paper's literal procedure.
+    Full,
+    /// Dirty-cone incremental inference through a [`CascadeSession`] when
+    /// the classifier provides one ([`FlowClassifier::open_session`]);
+    /// classifiers without session support (bare closures) silently fall
+    /// back to full re-inference. Probabilities — and hence the outcome —
+    /// are bit-identical to [`ImpactMode::Full`].
+    Incremental,
+}
+
+#[allow(clippy::derivable_impls)] // shim serde derive cannot parse #[default]
+impl Default for ImpactMode {
+    fn default() -> Self {
+        ImpactMode::Incremental
+    }
+}
+
+/// A classifier the flow can drive: a full-graph probability pass, plus an
+/// optional incremental-session fast path used by
+/// [`ImpactMode::Incremental`].
+///
+/// Implemented for [`Gcn`], [`MultiStageGcn`] (and references to them, so
+/// callers can keep ownership), and blanket-implemented for any
+/// `Fn(&GraphTensors, &Matrix) -> Result<Vec<f32>, TensorError>` closure —
+/// closures get no session and always run full inference.
+pub trait FlowClassifier {
+    /// Full forward pass: the positive-class probability per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if the model and graph shapes disagree.
+    fn classify(&self, t: &GraphTensors, x: &Matrix) -> Result<Vec<f32>, TensorError>;
+
+    /// Opens an incremental-inference session over the current graph
+    /// state, if this classifier supports one. The default (`None`) makes
+    /// [`ImpactMode::Incremental`] fall back to full re-inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if the model and graph shapes disagree.
+    fn open_session(
+        &self,
+        _t: &GraphTensors,
+        _x: &Matrix,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        Ok(None)
+    }
+
+    /// Embedding rows one *full* inference computes on an `n`-node graph —
+    /// the work unit of [`InferenceStats`]. Defaults to `n` (one row per
+    /// node) for classifiers of unknown depth.
+    fn full_rows_per_inference(&self, n: usize) -> u64 {
+        n as u64
+    }
+}
+
+impl<F> FlowClassifier for F
+where
+    F: Fn(&GraphTensors, &Matrix) -> Result<Vec<f32>, TensorError>,
+{
+    fn classify(&self, t: &GraphTensors, x: &Matrix) -> Result<Vec<f32>, TensorError> {
+        self(t, x)
+    }
+}
+
+impl FlowClassifier for Gcn {
+    fn classify(&self, t: &GraphTensors, x: &Matrix) -> Result<Vec<f32>, TensorError> {
+        self.predict_proba(t, x)
+    }
+
+    fn open_session(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_gcn(self, t, x).map(Some)
+    }
+
+    fn full_rows_per_inference(&self, n: usize) -> u64 {
+        self.depth() as u64 * n as u64
+    }
+}
+
+impl FlowClassifier for &Gcn {
+    fn classify(&self, t: &GraphTensors, x: &Matrix) -> Result<Vec<f32>, TensorError> {
+        Gcn::predict_proba(self, t, x)
+    }
+
+    fn open_session(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_gcn(self, t, x).map(Some)
+    }
+
+    fn full_rows_per_inference(&self, n: usize) -> u64 {
+        self.depth() as u64 * n as u64
+    }
+}
+
+impl FlowClassifier for MultiStageGcn {
+    fn classify(&self, t: &GraphTensors, x: &Matrix) -> Result<Vec<f32>, TensorError> {
+        self.predict_proba(t, x)
+    }
+
+    fn open_session(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_cascade(self, t, x).map(Some)
+    }
+
+    fn full_rows_per_inference(&self, n: usize) -> u64 {
+        self.stages().iter().map(|g| g.depth() as u64).sum::<u64>() * n as u64
+    }
+}
+
+impl FlowClassifier for &MultiStageGcn {
+    fn classify(&self, t: &GraphTensors, x: &Matrix) -> Result<Vec<f32>, TensorError> {
+        MultiStageGcn::predict_proba(self, t, x)
+    }
+
+    fn open_session(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_cascade(self, t, x).map(Some)
+    }
+
+    fn full_rows_per_inference(&self, n: usize) -> u64 {
+        self.stages().iter().map(|g| g.depth() as u64).sum::<u64>() * n as u64
+    }
 }
 
 /// Configuration of the iterative flow.
@@ -129,6 +290,10 @@ pub struct FlowConfig {
     /// default) disables the snapshotting entirely: every failure is
     /// immediately fatal, exactly as if the budget did not exist.
     pub skip_budget: usize,
+    /// Inference strategy for previews and re-classification; defaults to
+    /// [`ImpactMode::Incremental`]. The two modes produce bit-identical
+    /// outcomes — only [`FlowOutcome::inference`] differs.
+    pub impact_mode: ImpactMode,
 }
 
 impl Default for FlowConfig {
@@ -140,6 +305,7 @@ impl Default for FlowConfig {
             prob_threshold: 0.5,
             cone_limit: 500,
             skip_budget: 0,
+            impact_mode: ImpactMode::Incremental,
         }
     }
 }
@@ -153,6 +319,19 @@ pub struct IterationStats {
     pub positives: usize,
     /// Observation points inserted this iteration.
     pub inserted: usize,
+}
+
+/// Work accounting of every inference the flow ran, in embedding-row
+/// units (one unit = one node × one GCN layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceStats {
+    /// Embedding rows actually computed across all inferences.
+    pub rows_computed: u64,
+    /// Rows the same inferences would have computed as full passes —
+    /// `rows_full / rows_computed` is the incremental reuse factor.
+    pub rows_full: u64,
+    /// Number of inference calls (full passes plus session refreshes).
+    pub inferences: u64,
 }
 
 /// Outcome of the iterative flow.
@@ -169,14 +348,17 @@ pub struct FlowOutcome {
     /// Candidates whose insertion failed and was rolled back under
     /// [`FlowConfig::skip_budget`], in the order they were skipped.
     pub skipped: Vec<NodeId>,
+    /// Embedding-row accounting of every inference performed.
+    pub inference: InferenceStats,
 }
 
 /// Runs the iterative GCN-guided OP insertion flow, mutating `net`.
 ///
-/// `classify` is the trained model: given graph tensors and normalised
-/// node features it returns the positive probability per node (both
-/// [`gcnt_core::Gcn::predict_proba`] and
-/// [`gcnt_core::MultiStageGcn::predict_proba`] fit directly).
+/// `classify` is the trained model — pass a [`Gcn`] or [`MultiStageGcn`]
+/// (or a reference to one) to unlock the incremental fast path of
+/// [`ImpactMode::Incremental`]; a bare
+/// `Fn(&GraphTensors, &Matrix) -> Result<Vec<f32>, TensorError>` closure
+/// also works but always runs full inference.
 ///
 /// `normalizer` must be the normaliser the classifier was *trained* with —
 /// the flow is inductive and re-applies the training statistics to the
@@ -199,7 +381,7 @@ pub fn run_gcn_opi<F>(
     cfg: &FlowConfig,
 ) -> Result<FlowOutcome, FlowError>
 where
-    F: Fn(&GraphTensors, &Matrix) -> Result<Vec<f32>, TensorError>,
+    F: FlowClassifier,
 {
     run_flow(net, normalizer, classify, cfg, commit_insertion)
 }
@@ -213,14 +395,23 @@ struct FlowState {
     tensors: GraphTensors,
     scoap: Scoap,
     raw: Vec<[f32; RAW_DIM]>,
+    /// Normalised features, maintained cell-by-cell in lockstep with
+    /// `raw` — bit-identical to `normalizer.apply(raw)` at all times.
+    features: Matrix,
     stale: Vec<bool>,
+    /// Feature/structure rows dirtied by commits since the session's last
+    /// refresh; drained at the next iteration start.
+    pending_dirty: Vec<usize>,
+    /// The training normaliser, kept here so the commit step can patch
+    /// `features` without re-normalising the design.
+    normalizer: FeatureNormalizer,
 }
 
 /// Commits one observation point at `target`: structural netlist update,
 /// incremental tensor append, SCOAP refresh over the changed cone, and
-/// the new node's attribute row. Leaves `state` untouched on the lint
-/// error path only by accident of ordering — callers that need rollback
-/// must snapshot before calling.
+/// the new node's attribute row (raw and normalised). Leaves `state`
+/// untouched on the lint error path only by accident of ordering —
+/// callers that need rollback must snapshot before calling.
 fn commit_insertion(state: &mut FlowState, target: NodeId) -> Result<(), FlowError> {
     let op = state.net.insert_observation_point(target)?;
     if op.index() != state.tensors.node_count() {
@@ -239,11 +430,64 @@ fn commit_insertion(state: &mut FlowState, target: NodeId) -> Result<(), FlowErr
     state.tensors.insert_observation_point(target, op)?;
     let changed = state.scoap.observe(&state.net, target, op);
     for v in changed {
-        state.raw[v.index()][3] = squash(state.scoap.co(v));
-        state.stale[v.index()] = true;
+        let i = v.index();
+        let sq = squash(state.scoap.co(v));
+        state.raw[i][3] = sq;
+        state
+            .features
+            .set(i, 3, state.normalizer.normalize_cell(3, sq));
+        state.stale[i] = true;
+        state.pending_dirty.push(i);
     }
     state.raw.push(OBSERVATION_POINT_ATTRS);
+    state
+        .features
+        .push_row(&state.normalizer.observation_point_row())?;
+    // The new OP row and its driver's adjacency row changed structurally,
+    // not just attribute-wise; both must enter the next refresh halo.
+    state.pending_dirty.push(target.index());
+    state.pending_dirty.push(op.index());
     Ok(())
+}
+
+/// Accounts one full inference pass over an `n`-node graph.
+fn note_full_pass<F: FlowClassifier>(stats: &mut InferenceStats, classify: &F, n: usize) {
+    let rows = classify.full_rows_per_inference(n);
+    stats.rows_computed += rows;
+    stats.rows_full += rows;
+    stats.inferences += 1;
+}
+
+/// Accounts one incremental session refresh.
+fn note_refresh(stats: &mut InferenceStats, delta: &SessionDelta) {
+    stats.rows_computed += delta.rows_computed();
+    stats.rows_full += delta.rows_full_equivalent();
+    stats.inferences += 1;
+}
+
+/// Serves the current probabilities: refreshes the session with the rows
+/// dirtied since the last consistent point, or runs a full pass when no
+/// session is live.
+fn current_probs<F: FlowClassifier>(
+    state: &mut FlowState,
+    session: &mut Option<CascadeSession<'_>>,
+    classify: &F,
+    stats: &mut InferenceStats,
+) -> Result<Vec<f32>, FlowError> {
+    match session.as_mut() {
+        Some(s) => {
+            let dirty = std::mem::take(&mut state.pending_dirty);
+            if !dirty.is_empty() {
+                let delta = s.refresh(&state.tensors, &state.features, &dirty)?;
+                note_refresh(stats, &delta);
+            }
+            Ok(s.probs().to_vec())
+        }
+        None => {
+            note_full_pass(stats, classify, state.tensors.node_count());
+            Ok(classify.classify(&state.tensors, &state.features)?)
+        }
+    }
 }
 
 /// The flow loop with an injectable commit step — production code enters
@@ -257,7 +501,7 @@ fn run_flow<F, C>(
     mut commit: C,
 ) -> Result<FlowOutcome, FlowError>
 where
-    F: Fn(&GraphTensors, &Matrix) -> Result<Vec<f32>, TensorError>,
+    F: FlowClassifier,
     C: FnMut(&mut FlowState, NodeId) -> Result<(), FlowError>,
 {
     let levels = logic_levels(net)?;
@@ -273,12 +517,16 @@ where
             ]
         })
         .collect();
+    let features = normalizer.apply(&rows_to_matrix(&raw));
     let mut state = FlowState {
         tensors: GraphTensors::from_netlist(net),
         net: net.clone(),
         scoap,
         raw,
+        features,
         stale: Vec::new(),
+        pending_dirty: Vec::new(),
+        normalizer: normalizer.clone(),
     };
 
     let mut inserted = Vec::new();
@@ -286,11 +534,24 @@ where
     let mut history = Vec::new();
     let mut converged = false;
     let mut remaining = 0usize;
+    let mut stats = InferenceStats::default();
 
     let result = (|| -> Result<(), FlowError> {
+        // One live session for the whole run (Incremental mode with a
+        // session-capable classifier); its opening full pass is counted.
+        let mut session: Option<CascadeSession<'_>> = match cfg.impact_mode {
+            ImpactMode::Incremental => {
+                let s = classify.open_session(&state.tensors, &state.features)?;
+                if s.is_some() {
+                    note_full_pass(&mut stats, &classify, state.tensors.node_count());
+                }
+                s
+            }
+            ImpactMode::Full => None,
+        };
+
         for iteration in 0..cfg.max_iterations {
-            let features = normalizer.apply(&rows_to_matrix(&state.raw));
-            let probs = classify(&state.tensors, &features)?;
+            let probs = current_probs(&mut state, &mut session, &classify, &mut stats)?;
             // Positive predictions, excluding nodes that are already
             // observed or are themselves observe points.
             let mut positives: Vec<(NodeId, f32)> = state
@@ -316,24 +577,24 @@ where
             positives.truncate(cfg.candidate_limit);
 
             // Impact evaluation (Fig. 6).
-            let mut scored: Vec<(NodeId, i64, f32)> = positives
-                .iter()
-                .map(|&(v, p)| {
-                    let impact = evaluate_impact(
-                        &state.net,
-                        &state.scoap,
-                        &state.tensors,
-                        normalizer,
-                        &state.raw,
-                        &probs,
-                        &classify,
-                        v,
-                        cfg,
-                    )
-                    .unwrap_or(0);
-                    (v, impact, p)
-                })
-                .collect();
+            let mut scored: Vec<(NodeId, i64, f32)> = Vec::with_capacity(positives.len());
+            for &(v, p) in &positives {
+                let impact = evaluate_impact(
+                    &state.net,
+                    &state.scoap,
+                    &state.tensors,
+                    &state.normalizer,
+                    &mut state.features,
+                    &probs,
+                    &classify,
+                    session.as_mut(),
+                    &mut stats,
+                    v,
+                    cfg,
+                )
+                .unwrap_or(0);
+                scored.push((v, impact, p));
+            }
             scored.sort_by(|a, b| {
                 b.1.cmp(&a.1)
                     .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
@@ -355,10 +616,17 @@ where
                 }
                 // Snapshot only while skip budget remains: the default
                 // budget of 0 never clones, and a spent budget means the
-                // next failure propagates anyway.
+                // next failure propagates anyway. The session is not
+                // snapshotted: commits never touch it, so after a state
+                // rollback it is still consistent with the restored state.
                 let snapshot = (skipped.len() < cfg.skip_budget).then(|| state.clone());
                 match commit(&mut state, target) {
                     Ok(()) => {
+                        // Adopt the grown graph; the commit's dirty rows
+                        // are refreshed at the next iteration start.
+                        if let Some(s) = session.as_mut() {
+                            s.sync_nodes(&state.tensors);
+                        }
                         inserted.push(target);
                         inserted_now += 1;
                     }
@@ -379,13 +647,17 @@ where
             if inserted_now == 0 {
                 break; // cannot make progress
             }
-            relint_incremental(&state.net, &state.tensors, &state.scoap)?;
+            relint_incremental(
+                &state.net,
+                &state.tensors,
+                &state.scoap,
+                session.as_ref().map(|s| s.caches()),
+            )?;
         }
 
         // Final positive count if we exited by iteration cap.
         if !converged {
-            let features = normalizer.apply(&rows_to_matrix(&state.raw));
-            let probs = classify(&state.tensors, &features)?;
+            let probs = current_probs(&mut state, &mut session, &classify, &mut stats)?;
             remaining = state
                 .net
                 .nodes()
@@ -409,28 +681,36 @@ where
         remaining_positives: remaining,
         history,
         skipped,
+        inference: stats,
     })
 }
 
 /// Impact of a hypothetical OP at `target`: positive predictions in the
 /// fan-in cone before minus after the preview insertion (Fig. 6).
+///
+/// The previewed attribute rows are patched directly into `features` and
+/// restored before returning (error paths included), so no full-matrix
+/// clone or re-normalisation happens per candidate.
 #[allow(clippy::too_many_arguments)]
-fn evaluate_impact<F>(
+fn evaluate_impact<F: FlowClassifier>(
     net: &Netlist,
     scoap: &Scoap,
     tensors: &GraphTensors,
     normalizer: &FeatureNormalizer,
-    raw: &[[f32; RAW_DIM]],
+    features: &mut Matrix,
     probs: &[f32],
     classify: &F,
+    session: Option<&mut CascadeSession<'_>>,
+    stats: &mut InferenceStats,
     target: NodeId,
     cfg: &FlowConfig,
-) -> Result<i64, FlowError>
-where
-    F: Fn(&GraphTensors, &Matrix) -> Result<Vec<f32>, TensorError>,
-{
+) -> Result<i64, FlowError> {
     let mut cone = net.fanin_cone(target, cfg.cone_limit);
-    cone.push(target);
+    // `fanin_cone` excludes its root today; the guard keeps the apex
+    // counted exactly once even if that contract ever changes.
+    if !cone.contains(&target) {
+        cone.push(target);
+    }
     let pos_before = cone
         .iter()
         .filter(|&&v| probs[v.index()] >= cfg.prob_threshold)
@@ -438,20 +718,61 @@ where
     if pos_before == 0 {
         return Ok(0);
     }
-    // Preview the observability improvement and rerun inference with the
-    // updated attributes.
+    // Preview the observability improvement directly in the feature
+    // matrix, recording an undo list of the touched cells.
     let preview = scoap.preview_observe(net, target);
-    let mut raw2 = raw.to_vec();
+    let mut undo: Vec<(usize, f32)> = Vec::with_capacity(preview.len());
+    let mut dirty: Vec<usize> = Vec::with_capacity(preview.len());
     for &(v, co) in &preview {
-        raw2[v.index()][3] = squash(co);
+        let i = v.index();
+        undo.push((i, features.get(i, 3)));
+        features.set(i, 3, normalizer.normalize_cell(3, squash(co)));
+        dirty.push(i);
     }
-    let features = normalizer.apply(&rows_to_matrix(&raw2));
-    let probs_after = classify(tensors, &features)?;
-    let pos_after = cone
-        .iter()
-        .filter(|&&v| probs_after[v.index()] >= cfg.prob_threshold)
-        .count() as i64;
-    Ok(pos_before - pos_after)
+    let scored = score_preview(
+        tensors, features, &dirty, &cone, classify, session, stats, cfg,
+    );
+    // Always restore the previewed cells, error path included.
+    for &(i, old) in undo.iter().rev() {
+        features.set(i, 3, old);
+    }
+    Ok(pos_before - scored?)
+}
+
+/// Counts the positives inside `cone` under the already-patched preview
+/// features: a session refresh + revert over the dirty halo, or a full
+/// pass when no session is live.
+#[allow(clippy::too_many_arguments)]
+fn score_preview<F: FlowClassifier>(
+    tensors: &GraphTensors,
+    features: &Matrix,
+    dirty: &[usize],
+    cone: &[NodeId],
+    classify: &F,
+    session: Option<&mut CascadeSession<'_>>,
+    stats: &mut InferenceStats,
+    cfg: &FlowConfig,
+) -> Result<i64, FlowError> {
+    match session {
+        Some(s) => {
+            let delta = s.refresh(tensors, features, dirty)?;
+            note_refresh(stats, &delta);
+            let pos = cone
+                .iter()
+                .filter(|&&v| s.probs()[v.index()] >= cfg.prob_threshold)
+                .count() as i64;
+            s.revert(delta);
+            Ok(pos)
+        }
+        None => {
+            note_full_pass(stats, classify, tensors.node_count());
+            let probs_after = classify.classify(tensors, features)?;
+            Ok(cone
+                .iter()
+                .filter(|&&v| probs_after[v.index()] >= cfg.prob_threshold)
+                .count() as i64)
+        }
+    }
 }
 
 fn rows_to_matrix(rows: &[[f32; RAW_DIM]]) -> Matrix {
@@ -522,11 +843,15 @@ mod tests {
         let mut net = shadowed_design(92);
         let raw = gcnt_core::features::raw_features_of(&net).unwrap();
         let norm = FeatureNormalizer::fit(&[&raw]);
-        let silent = |_t: &GraphTensors, f: &Matrix| Ok(vec![0.0; f.rows()]);
+        let silent = |_t: &GraphTensors, f: &Matrix| -> Result<Vec<f32>, TensorError> {
+            Ok(vec![0.0; f.rows()])
+        };
         let outcome = run_gcn_opi(&mut net, &norm, silent, &FlowConfig::default()).unwrap();
         assert!(outcome.converged);
         assert!(outcome.inserted.is_empty());
         assert_eq!(outcome.history.len(), 1);
+        // One full pass decided convergence; nothing else ran.
+        assert_eq!(outcome.inference.inferences, 1);
     }
 
     #[test]
@@ -695,12 +1020,167 @@ mod tests {
         let smaller = shadowed_design(97);
         let tensors = GraphTensors::from_netlist(&smaller);
         let scoap = Scoap::compute(&net).unwrap();
-        let err = relint_incremental(&net, &tensors, &scoap).unwrap_err();
+        let err = relint_incremental(&net, &tensors, &scoap, None).unwrap_err();
         match err {
             FlowError::Lint(report) => {
                 assert!(report.fired(RuleId::AdjacencyNetlistMismatch), "{report}")
             }
             other => panic!("expected a lint error, got {other}"),
         }
+    }
+
+    /// Regression pin for the impact score: the apex must be counted
+    /// exactly once even when it and its cone are all positive, and the
+    /// undo list must leave the feature matrix bit-identical afterwards.
+    #[test]
+    fn impact_score_counts_cone_nodes_once_and_restores_features() {
+        use std::collections::BTreeSet;
+
+        let net = shadowed_design(93);
+        let raw = gcnt_core::features::raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let mut features = norm.apply(&raw);
+        let pristine = features.clone();
+        let tensors = GraphTensors::from_netlist(&net);
+        let scoap = Scoap::compute(&net).unwrap();
+        let cfg = FlowConfig::default();
+        let classify = oracle(2.0);
+        let probs = classify(&tensors, &features).unwrap();
+
+        let mut checked = 0;
+        for target in net.nodes() {
+            if probs[target.index()] < cfg.prob_threshold || scoap.co(target) == 0 {
+                continue;
+            }
+            // Independent reference: dedup the cone as a set, preview, and
+            // re-normalise the whole design from scratch.
+            let mut cone: BTreeSet<NodeId> =
+                net.fanin_cone(target, cfg.cone_limit).into_iter().collect();
+            cone.insert(target);
+            let before = cone
+                .iter()
+                .filter(|&&v| probs[v.index()] >= cfg.prob_threshold)
+                .count() as i64;
+            let mut raw2 = raw.clone();
+            for (v, co) in scoap.preview_observe(&net, target) {
+                raw2.set(v.index(), 3, squash(co));
+            }
+            let probs2 = classify(&tensors, &norm.apply(&raw2)).unwrap();
+            let after = cone
+                .iter()
+                .filter(|&&v| probs2[v.index()] >= cfg.prob_threshold)
+                .count() as i64;
+
+            let mut stats = InferenceStats::default();
+            let impact = evaluate_impact(
+                &net,
+                &scoap,
+                &tensors,
+                &norm,
+                &mut features,
+                &probs,
+                &classify,
+                None,
+                &mut stats,
+                target,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(impact, before - after, "target {target:?}");
+            assert_eq!(features, pristine, "features must be restored");
+            checked += 1;
+            if checked >= 10 {
+                break;
+            }
+        }
+        assert!(checked > 0, "design has positive candidates");
+    }
+
+    /// A seeded (untrained) GCN drives both modes to the same outcome —
+    /// the incremental path must be bit-identical, not just close.
+    #[test]
+    fn incremental_mode_matches_full_mode_with_a_real_model() {
+        use gcnt_core::{GcnConfig, GraphData};
+
+        let net = shadowed_design(101);
+        let data = GraphData::from_netlist(&net, None).unwrap();
+        let gcn = Gcn::new(
+            &GcnConfig {
+                embed_dims: vec![8, 8],
+                fc_dims: vec![8],
+                ..GcnConfig::default()
+            },
+            &mut gcnt_nn::seeded_rng(7),
+        );
+        let norm = data.normalizer.clone();
+        let cfg_base = FlowConfig {
+            max_iterations: 3,
+            ops_per_iteration: 4,
+            candidate_limit: 6,
+            ..Default::default()
+        };
+
+        let mut net_full = net.clone();
+        let full = run_gcn_opi(
+            &mut net_full,
+            &norm,
+            &gcn,
+            &FlowConfig {
+                impact_mode: ImpactMode::Full,
+                ..cfg_base.clone()
+            },
+        )
+        .unwrap();
+        let mut net_inc = net.clone();
+        let inc = run_gcn_opi(
+            &mut net_inc,
+            &norm,
+            &gcn,
+            &FlowConfig {
+                impact_mode: ImpactMode::Incremental,
+                ..cfg_base
+            },
+        )
+        .unwrap();
+
+        assert_eq!(full.inserted, inc.inserted);
+        assert_eq!(full.converged, inc.converged);
+        assert_eq!(full.remaining_positives, inc.remaining_positives);
+        assert_eq!(full.history, inc.history);
+        assert_eq!(full.skipped, inc.skipped);
+        assert_eq!(net_full, net_inc);
+        // The incremental run did strictly less embedding work.
+        if !inc.inserted.is_empty() {
+            assert!(
+                inc.inference.rows_computed < full.inference.rows_computed,
+                "incremental {} vs full {}",
+                inc.inference.rows_computed,
+                full.inference.rows_computed
+            );
+        }
+        assert_eq!(full.inference.rows_computed, full.inference.rows_full);
+    }
+
+    /// Closures have no session: Incremental mode silently falls back to
+    /// full inference and the two modes produce identical stats.
+    #[test]
+    fn closures_fall_back_to_full_inference() {
+        let mut net_a = shadowed_design(102);
+        let mut net_b = shadowed_design(102);
+        let raw = gcnt_core::features::raw_features_of(&net_a).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let cfg_full = FlowConfig {
+            max_iterations: 4,
+            impact_mode: ImpactMode::Full,
+            ..Default::default()
+        };
+        let cfg_inc = FlowConfig {
+            impact_mode: ImpactMode::Incremental,
+            ..cfg_full.clone()
+        };
+        let a = run_gcn_opi(&mut net_a, &norm, oracle(2.0), &cfg_full).unwrap();
+        let b = run_gcn_opi(&mut net_b, &norm, oracle(2.0), &cfg_inc).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.inference.rows_computed, a.inference.rows_full);
     }
 }

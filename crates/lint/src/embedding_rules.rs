@@ -1,0 +1,111 @@
+//! `EC` rules: incremental-inference embedding-cache consistency.
+//!
+//! The incremental engine (`gcnt_core::incremental`) serves cached
+//! per-layer embeddings in place of a full forward pass, so a cache that
+//! has drifted from its graph — wrong row counts after an insertion, or a
+//! generation mismatch — silently produces wrong probabilities rather
+//! than a crash. `EC001` catches both drift modes.
+
+use gcnt_core::incremental::EmbeddingCache;
+use gcnt_core::GraphTensors;
+
+use crate::report::{LintReport, RuleId};
+
+/// `EC001 embedding-cache-consistency`: every cached layer must have one
+/// row per graph node, and the cache generation must match the graph's
+/// structural-update counter.
+pub fn lint_embedding_cache(
+    tensors: &GraphTensors,
+    cache: &EmbeddingCache,
+    context: &str,
+) -> LintReport {
+    let mut report = LintReport::new();
+    let n = tensors.node_count();
+    for (d, layer) in cache.layers().iter().enumerate() {
+        if layer.rows() != n {
+            report.report(
+                RuleId::EmbeddingCacheConsistency,
+                context,
+                format!(
+                    "cached layer {d} holds {} rows but the graph has {n} nodes",
+                    layer.rows()
+                ),
+            );
+        }
+    }
+    if cache.generation() != tensors.generation() {
+        report.report(
+            RuleId::EmbeddingCacheConsistency,
+            context,
+            format!(
+                "cache generation {} does not match graph generation {}",
+                cache.generation(),
+                tensors.generation()
+            ),
+        );
+    }
+    report
+}
+
+/// Lints every per-stage cache of an incremental-inference session.
+pub fn lint_embedding_caches(tensors: &GraphTensors, caches: &[EmbeddingCache]) -> LintReport {
+    let mut report = LintReport::new();
+    for (i, cache) in caches.iter().enumerate() {
+        report.merge(lint_embedding_cache(
+            tensors,
+            cache,
+            &format!("session.stage[{i}]"),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnt_core::{Gcn, GcnConfig, GraphData};
+    use gcnt_netlist::{generate, GeneratorConfig};
+
+    fn cache_and_tensors() -> (GraphTensors, EmbeddingCache, gcnt_netlist::Netlist) {
+        let net = generate(&GeneratorConfig::sized("ec", 6, 120));
+        let data = GraphData::from_netlist(&net, None).unwrap();
+        let gcn = Gcn::new(
+            &GcnConfig {
+                embed_dims: vec![4, 4],
+                fc_dims: vec![4],
+                ..GcnConfig::default()
+            },
+            &mut gcnt_nn::seeded_rng(0),
+        );
+        let cache = gcn.embed_cached(&data.tensors, &data.features).unwrap();
+        (data.tensors, cache, net)
+    }
+
+    #[test]
+    fn fresh_cache_is_clean() {
+        let (tensors, cache, _) = cache_and_tensors();
+        let report = lint_embedding_cache(&tensors, &cache, "session.stage[0]");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn stale_generation_and_short_rows_fire_ec001() {
+        let (mut tensors, cache, mut net) = cache_and_tensors();
+        let target = net
+            .nodes()
+            .find(|&v| !net.fanout(v).is_empty())
+            .expect("generated design has internal nodes");
+        let op = net.insert_observation_point(target).unwrap();
+        tensors.insert_observation_point(target, op).unwrap();
+        // The cache now lags by one node and one generation.
+        let report = lint_embedding_caches(&tensors, std::slice::from_ref(&cache));
+        assert!(report.fired(RuleId::EmbeddingCacheConsistency));
+        assert!(report.has_errors());
+        // One row-count finding per layer plus one generation finding.
+        assert_eq!(
+            report.of_rule(RuleId::EmbeddingCacheConsistency).count(),
+            cache.layers().len() + 1
+        );
+        assert_eq!(RuleId::EmbeddingCacheConsistency.code(), "EC001");
+    }
+}

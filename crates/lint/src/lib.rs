@@ -27,6 +27,7 @@
 //! | `CK001` | `checkpoint-checksum-mismatch` | error | checkpoint payload integrity |
 //! | `CK002` | `checkpoint-version-unsupported` | error | checkpoint format version known |
 //! | `CK003` | `checkpoint-missing-state` | error | resume state sections present |
+//! | `EC001` | `embedding-cache-consistency` | error | incremental caches match their graph |
 //!
 //! The catalogue is available programmatically via [`registry::RULES`].
 //!
@@ -42,6 +43,9 @@
 //!   — model parameters, e.g. after loading a checkpoint.
 //! - [`lint_checkpoint_meta`] / [`lint_optimizer_shape`] — checkpoint
 //!   file metadata (checksum, version, required state sections).
+//! - [`lint_embedding_cache`] / [`lint_embedding_caches`] — incremental
+//!   inference caches against their graph, checked by the flow after
+//!   every insertion batch.
 //! - [`lint_design`] — everything derivable from a netlist in one call;
 //!   this is what `gcnt lint` runs.
 //!
@@ -69,11 +73,13 @@ pub mod registry;
 pub mod report;
 
 mod checkpoint_rules;
+mod embedding_rules;
 mod model_rules;
 mod netlist_rules;
 mod tensor_rules;
 
 pub use checkpoint_rules::{lint_checkpoint_meta, lint_optimizer_shape, CheckpointMeta};
+pub use embedding_rules::{lint_embedding_cache, lint_embedding_caches};
 pub use model_rules::{lint_gcn, lint_linear, lint_mlp, lint_multistage};
 pub use netlist_rules::{lint_levels, lint_netlist, lint_netlist_deep, lint_scoap};
 pub use report::{Finding, LintReport, RuleId, Severity};

@@ -10,7 +10,7 @@ pub struct RuleDescriptor {
     pub id: RuleId,
     /// Stable code, e.g. `"NL001"`. `NL` rules check netlist structure,
     /// `TS` rules check tensors, `MD` rules check model state, `CK` rules
-    /// check checkpoint files.
+    /// check checkpoint files, `EC` rules check embedding caches.
     pub code: &'static str,
     /// Stable kebab-case slug, e.g. `"combinational-cycle"`.
     pub slug: &'static str,
@@ -120,6 +120,13 @@ pub const RULES: &[RuleDescriptor] = &[
         severity: Severity::Error,
         summary: "checkpoint lacks state required to resume (e.g. optimizer)",
     },
+    RuleDescriptor {
+        id: RuleId::EmbeddingCacheConsistency,
+        code: "EC001",
+        slug: "embedding-cache-consistency",
+        severity: Severity::Error,
+        summary: "embedding cache disagrees with its graph (rows or generation)",
+    },
 ];
 
 /// Looks up the descriptor of a rule.
@@ -151,6 +158,7 @@ mod tests {
         assert!(RULES.iter().any(|r| r.code.starts_with("TS")));
         assert!(RULES.iter().any(|r| r.code.starts_with("MD")));
         assert!(RULES.iter().any(|r| r.code.starts_with("CK")));
-        assert_eq!(RULES.len(), 14);
+        assert!(RULES.iter().any(|r| r.code.starts_with("EC")));
+        assert_eq!(RULES.len(), 15);
     }
 }

@@ -75,6 +75,10 @@ pub enum RuleId {
     /// `CK003 checkpoint-missing-state`: a checkpoint lacks state the
     /// resume path needs (e.g. optimizer velocity for a momentum run).
     MissingState,
+    /// `EC001 embedding-cache-consistency`: an incremental-inference
+    /// embedding cache disagrees with its graph (layer row counts differ
+    /// from the node count, or the generations do not match).
+    EmbeddingCacheConsistency,
 }
 
 impl RuleId {

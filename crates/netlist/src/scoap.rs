@@ -187,6 +187,9 @@ impl Scoap {
     /// This powers the paper's impact evaluation (Fig. 6): the iterative
     /// flow previews the observability improvement of a hypothetical OP at
     /// every candidate before committing to the highest-impact ones.
+    ///
+    /// The pairs are sorted by node index, so the result doubles as a
+    /// deterministic dirty-row set for incremental inference.
     pub fn preview_observe(&self, net: &Netlist, target: NodeId) -> Vec<(NodeId, u32)> {
         use std::collections::HashMap;
         let mut overlay: HashMap<usize, u32> = HashMap::new();
@@ -217,10 +220,12 @@ impl Scoap {
                 }
             }
         }
-        overlay
+        let mut out: Vec<(NodeId, u32)> = overlay
             .into_iter()
             .map(|(i, c)| (NodeId::from_index(i), c))
-            .collect()
+            .collect();
+        out.sort_unstable_by_key(|&(v, _)| v.index());
+        out
     }
 
     /// Controllability of a single node from its fanins' values.

@@ -284,6 +284,56 @@ impl CsrMatrix {
         Ok(out)
     }
 
+    /// Row-sliced sparse × dense product: computes only the listed output
+    /// rows of `self * rhs`, returned as a dense `rows.len() x rhs.cols()`
+    /// matrix with `out[i] = self[rows[i]] · rhs`.
+    ///
+    /// The per-row accumulation order matches [`CsrMatrix::spmm`] exactly, so
+    /// each returned row is bit-for-bit equal to the corresponding row of the
+    /// full product — the invariant the incremental inference engine's
+    /// dirty-cone updates rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == rhs.rows()`, and [`TensorError::IndexOutOfBounds`] if
+    /// any requested row is out of range.
+    pub fn spmm_rows(&self, rhs: &Matrix, rows: &[usize]) -> Result<Matrix> {
+        debug_assert!(self.structure_ok(), "spmm_rows on a malformed CSR matrix");
+        if self.cols != rhs.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "spmm_rows",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if let Some(&bad) = rows.iter().find(|&&r| r >= self.rows) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: (bad, 0),
+                shape: self.shape(),
+            });
+        }
+        let n = rhs.cols();
+        let mut out = Matrix::zeros(rows.len(), n);
+        if n == 0 {
+            return Ok(out);
+        }
+        let data = out.as_mut_slice();
+        for (out_row, &r) in data.chunks_mut(n).zip(rows) {
+            let start = self.indptr[r];
+            let end = self.indptr[r + 1];
+            for k in start..end {
+                let c = self.indices[k] as usize;
+                let v = self.values[k];
+                let rhs_row = rhs.row(c);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += v * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Sparse × dense product using the *transpose* of `self`:
     /// `self^T * rhs`, without materialising the transpose.
     ///
@@ -458,6 +508,32 @@ mod tests {
         assert!(matches!(
             csr.spmm(&x),
             Err(TensorError::ShapeMismatch { op: "spmm", .. })
+        ));
+    }
+
+    #[test]
+    fn spmm_rows_matches_full_product_bitwise() {
+        let csr = sample_coo().to_csr();
+        let x = Matrix::from_fn(3, 5, |r, c| (r as f32 + 0.37) * (c as f32 - 1.21));
+        let full = csr.spmm(&x).unwrap();
+        let sliced = csr.spmm_rows(&x, &[2, 0]).unwrap();
+        assert_eq!(sliced.row(0), full.row(2));
+        assert_eq!(sliced.row(1), full.row(0));
+    }
+
+    #[test]
+    fn spmm_rows_checks_bounds_and_shape() {
+        let csr = sample_coo().to_csr();
+        assert!(matches!(
+            csr.spmm_rows(&Matrix::zeros(2, 2), &[0]),
+            Err(TensorError::ShapeMismatch {
+                op: "spmm_rows",
+                ..
+            })
+        ));
+        assert!(matches!(
+            csr.spmm_rows(&Matrix::zeros(3, 2), &[7]),
+            Err(TensorError::IndexOutOfBounds { .. })
         ));
     }
 

@@ -439,6 +439,55 @@ impl Matrix {
         out
     }
 
+    /// Writes the rows of `src` into `self` at the listed indices
+    /// (scatter): `self[indices[i]] = src[i]`.
+    ///
+    /// Inverse of [`Matrix::gather_rows`] over the same index list; the
+    /// incremental inference engine uses the pair to patch recomputed
+    /// embedding rows back into a cached layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the column counts differ or
+    /// `src.rows() != indices.len()`, and [`TensorError::IndexOutOfBounds`]
+    /// if any index is out of range. `self` is left untouched on error.
+    pub fn scatter_rows(&mut self, indices: &[usize], src: &Matrix) -> Result<()> {
+        if self.cols != src.cols || src.rows != indices.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "scatter_rows",
+                lhs: (indices.len(), self.cols),
+                rhs: src.shape(),
+            });
+        }
+        if let Some(&bad) = indices.iter().find(|&&r| r >= self.rows) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: (bad, 0),
+                shape: self.shape(),
+            });
+        }
+        for (i, &r) in indices.iter().enumerate() {
+            self.row_mut(r).copy_from_slice(src.row(i));
+        }
+        Ok(())
+    }
+
+    /// Appends one row to the bottom of the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `row.len() != self.cols()`.
+    pub fn push_row(&mut self, row: &[f32]) -> Result<()> {
+        if row.len() != self.cols {
+            return Err(TensorError::LengthMismatch {
+                expected: self.cols,
+                actual: row.len(),
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
     /// Stacks `self` on top of `other`.
     ///
     /// # Errors
@@ -590,6 +639,50 @@ mod tests {
         let g = a.gather_rows(&[3, 1]);
         assert_eq!(g.row(0), &[3.0, 3.0]);
         assert_eq!(g.row(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn scatter_rows_is_gather_inverse() {
+        let mut a = Matrix::from_fn(4, 2, |r, c| (10 * r + c) as f32);
+        let original = a.clone();
+        let idx = [3usize, 1];
+        let taken = a.gather_rows(&idx);
+        let patch = Matrix::from_rows(&[&[-1.0, -2.0], &[-3.0, -4.0]]).unwrap();
+        a.scatter_rows(&idx, &patch).unwrap();
+        assert_eq!(a.row(3), &[-1.0, -2.0]);
+        assert_eq!(a.row(1), &[-3.0, -4.0]);
+        assert_eq!(a.row(0), original.row(0));
+        a.scatter_rows(&idx, &taken).unwrap();
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn scatter_rows_rejects_bad_shapes() {
+        let mut a = Matrix::zeros(3, 2);
+        let src = Matrix::zeros(2, 2);
+        assert!(matches!(
+            a.scatter_rows(&[0], &src),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            a.scatter_rows(&[0, 9], &src),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn push_row_appends() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        a.push_row(&[3.0, 4.0]).unwrap();
+        assert_eq!(a.shape(), (2, 2));
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert!(matches!(
+            a.push_row(&[5.0]),
+            Err(TensorError::LengthMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub enum TensorError {
         /// Number of elements actually supplied.
         actual: usize,
     },
+    /// An incremental-inference embedding cache was used against a graph
+    /// state it was not built for (generation counters disagree).
+    StaleCache {
+        /// Generation recorded in the cache.
+        cache: u64,
+        /// Generation of the graph tensors it was used with.
+        graph: u64,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -47,6 +55,10 @@ impl fmt::Display for TensorError {
             TensorError::LengthMismatch { expected, actual } => {
                 write!(f, "data length {actual} does not match expected {expected}")
             }
+            TensorError::StaleCache { cache, graph } => write!(
+                f,
+                "stale embedding cache: cache generation {cache} vs graph generation {graph}"
+            ),
         }
     }
 }
@@ -85,6 +97,13 @@ mod tests {
         };
         assert!(e.to_string().contains('6'));
         assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn display_stale_cache() {
+        let e = TensorError::StaleCache { cache: 2, graph: 5 };
+        assert!(e.to_string().contains("cache generation 2"));
+        assert!(e.to_string().contains("graph generation 5"));
     }
 
     #[test]

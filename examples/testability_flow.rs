@@ -83,12 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // GCN-guided flow.
     let mut gcn_design = original.clone();
-    let outcome = run_gcn_opi(
-        &mut gcn_design,
-        &normalizer,
-        |t, x| model.predict_proba(t, x),
-        &FlowConfig::default(),
-    )?;
+    let outcome = run_gcn_opi(&mut gcn_design, &normalizer, &model, &FlowConfig::default())?;
     println!(
         "GCN flow: {} OPs in {} iterations (converged: {})",
         outcome.inserted.len(),

@@ -101,7 +101,7 @@ fn trained_flow_improves_coverage() {
     let outcome = run_gcn_opi(
         &mut modified,
         &train_data.normalizer,
-        |t, x| gcn.predict_proba(t, x),
+        &gcn,
         &FlowConfig {
             max_iterations: 10,
             ..FlowConfig::default()

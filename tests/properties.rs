@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 
+use gcn_testability::dft::flow::{run_gcn_opi, FlowConfig, ImpactMode};
 use gcn_testability::gcn::{recursive, Gcn, GcnConfig, GraphData, GraphTensors};
 use gcn_testability::lint::{lint_csr, lint_netlist, lint_scoap, RuleId};
 use gcn_testability::netlist::{generate, CellKind, GeneratorConfig, Netlist, Scoap, SCOAP_INF};
@@ -282,6 +283,90 @@ proptest! {
             report.fired(RuleId::CsrSortedIndices),
             "shuffling row {row} went unnoticed:\n{report}"
         );
+    }
+
+    /// The incremental dirty-halo engine is bit-for-bit identical to the
+    /// full forward pass at every depth, and its revert restores the
+    /// cache exactly — the invariant the flow's preview path stands on.
+    #[test]
+    fn incremental_embedding_matches_full(
+        net in arb_netlist(),
+        seed in any::<u64>(),
+        depth in 1usize..4,
+        dirty_picks in proptest::collection::vec(any::<u32>(), 1..6),
+    ) {
+        let data = GraphData::from_netlist(&net, None).unwrap();
+        let gcn = Gcn::new(
+            &GcnConfig {
+                embed_dims: vec![6, 5, 4][..depth].to_vec(),
+                fc_dims: vec![4],
+                ..GcnConfig::default()
+            },
+            &mut seeded_rng(seed),
+        );
+        let n = data.node_count();
+        let mut x = data.features.clone();
+        let mut cache = gcn.embed_cached(&data.tensors, &x).unwrap();
+        let pristine = cache.clone();
+        let dirty: Vec<usize> = dirty_picks.iter().map(|&p| p as usize % n).collect();
+        for &r in &dirty {
+            x.set(r, 3, x.get(r, 3) + 0.5);
+        }
+        let delta = gcn
+            .embed_incremental(&data.tensors, &x, &mut cache, &dirty)
+            .unwrap();
+        // Bit-identical to a from-scratch recompute, layer by layer.
+        let fresh = gcn.embed_cached(&data.tensors, &x).unwrap();
+        prop_assert_eq!(cache.layers(), fresh.layers());
+        let full = gcn.embed(&data.tensors, &x).unwrap();
+        prop_assert_eq!(cache.final_embedding(), &full);
+        // Revert restores the pristine cache, bit for bit.
+        cache.revert(delta);
+        prop_assert_eq!(cache.layers(), pristine.layers());
+    }
+
+    /// The flow's incremental impact mode is outcome-identical to full
+    /// re-inference on random designs and random (untrained) models:
+    /// same insertions, same history, same final netlist.
+    #[test]
+    fn flow_incremental_equals_full(net in arb_netlist(), seed in any::<u64>()) {
+        let data = GraphData::from_netlist(&net, None).unwrap();
+        let gcn = Gcn::new(
+            &GcnConfig {
+                embed_dims: vec![8, 8],
+                fc_dims: vec![8],
+                ..GcnConfig::default()
+            },
+            &mut seeded_rng(seed),
+        );
+        let cfg = FlowConfig {
+            max_iterations: 3,
+            ops_per_iteration: 2,
+            candidate_limit: 6,
+            ..FlowConfig::default()
+        };
+        let mut net_full = net.clone();
+        let full = run_gcn_opi(
+            &mut net_full,
+            &data.normalizer,
+            &gcn,
+            &FlowConfig { impact_mode: ImpactMode::Full, ..cfg.clone() },
+        )
+        .unwrap();
+        let mut net_inc = net.clone();
+        let inc = run_gcn_opi(
+            &mut net_inc,
+            &data.normalizer,
+            &gcn,
+            &FlowConfig { impact_mode: ImpactMode::Incremental, ..cfg },
+        )
+        .unwrap();
+        prop_assert_eq!(full.inserted, inc.inserted);
+        prop_assert_eq!(full.converged, inc.converged);
+        prop_assert_eq!(full.remaining_positives, inc.remaining_positives);
+        prop_assert_eq!(full.history, inc.history);
+        prop_assert_eq!(full.skipped, inc.skipped);
+        prop_assert_eq!(net_full, net_inc);
     }
 
     /// spmm distributes over dense addition: A(X + Y) = AX + AY.
