@@ -29,7 +29,7 @@
 //! and adopt the new generation, then pass the insertion's dirty set to the
 //! next [`CascadeSession::refresh`].
 
-use gcnt_tensor::{ops, Matrix, Result, TensorError};
+use gcnt_tensor::{ops, Budget, Matrix, Result, TensorError};
 
 use crate::{Gcn, GraphTensors, MultiStageGcn};
 
@@ -131,6 +131,24 @@ impl Gcn {
     /// Returns a shape error if `x` does not match the graph/node shape, or
     /// a length error for a depth-0 model (nothing to cache).
     pub fn embed_cached(&self, t: &GraphTensors, x: &Matrix) -> Result<EmbeddingCache> {
+        self.embed_cached_budgeted(t, x, &Budget::unlimited())
+    }
+
+    /// [`Gcn::embed_cached`] under a cooperative work [`Budget`]: each
+    /// layer charges one unit per node before computing, so an exhausted
+    /// or cancelled budget stops the pass at a layer boundary.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gcn::embed_cached`], plus budget errors
+    /// ([`TensorError::BudgetExceeded`] / [`TensorError::Cancelled`])
+    /// from the inter-layer checkpoints.
+    pub fn embed_cached_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<EmbeddingCache> {
         if self.encoders().is_empty() {
             return Err(TensorError::LengthMismatch {
                 expected: 1,
@@ -140,6 +158,7 @@ impl Gcn {
         let mut layers = Vec::with_capacity(self.depth());
         let mut e = x.clone();
         for enc in self.encoders() {
+            budget.charge(e.rows() as u64)?;
             let (g, _, _) = t.aggregate(&e, self.w_pr(), self.w_su())?;
             e = ops::relu(&enc.forward(&g)?);
             layers.push(e.clone());
@@ -172,6 +191,28 @@ impl Gcn {
         x: &Matrix,
         cache: &mut EmbeddingCache,
         dirty: &[usize],
+    ) -> Result<EmbeddingDelta> {
+        self.embed_incremental_budgeted(t, x, cache, dirty, &Budget::unlimited())
+    }
+
+    /// [`Gcn::embed_incremental`] under a cooperative work [`Budget`]:
+    /// every layer charges one unit per halo row before recomputing it, so
+    /// an exhausted or cancelled budget stops the patch at a layer
+    /// boundary. On a budget error the already-patched layers are rolled
+    /// back, leaving the cache exactly as before the call.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gcn::embed_incremental`], plus budget errors
+    /// ([`TensorError::BudgetExceeded`] / [`TensorError::Cancelled`])
+    /// from the per-layer checkpoints.
+    pub fn embed_incremental_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        cache: &mut EmbeddingCache,
+        dirty: &[usize],
+        budget: &Budget,
     ) -> Result<EmbeddingDelta> {
         let n = t.node_count();
         if cache.generation != t.generation() {
@@ -213,6 +254,15 @@ impl Gcn {
         let mut rows_computed = 0usize;
         for (d, enc) in self.encoders().iter().enumerate() {
             rows = t.halo_step(&rows);
+            if let Err(e) = budget.charge(rows.len() as u64) {
+                // Roll the already-patched layers back so a budget stop
+                // leaves the cache exactly as before the call.
+                cache.revert(EmbeddingDelta {
+                    layer_undo,
+                    rows_computed,
+                });
+                return Err(e);
+            }
             let prev = if d == 0 { x } else { &cache.layers[d - 1] };
             let g = t.aggregate_rows(prev, &rows, self.w_pr(), self.w_su())?;
             let e = ops::relu(&enc.forward(&g)?);
@@ -291,7 +341,23 @@ impl<'m> CascadeSession<'m> {
     ///
     /// Returns a shape error if `x` does not match the graph.
     pub fn for_gcn(gcn: &'m Gcn, t: &GraphTensors, x: &Matrix) -> Result<Self> {
-        Self::open(std::slice::from_ref(gcn), 0.0, t, x)
+        Self::open(std::slice::from_ref(gcn), 0.0, t, x, &Budget::unlimited())
+    }
+
+    /// [`CascadeSession::for_gcn`] under a cooperative work [`Budget`];
+    /// the opening full pass charges one unit per node per layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the graph, or a budget
+    /// error from the inter-layer checkpoints.
+    pub fn for_gcn_budgeted(
+        gcn: &'m Gcn,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Self> {
+        Self::open(std::slice::from_ref(gcn), 0.0, t, x, budget)
     }
 
     /// Opens a session over a trained cascade.
@@ -300,7 +366,30 @@ impl<'m> CascadeSession<'m> {
     ///
     /// Returns a shape error if `x` does not match the graph.
     pub fn for_cascade(model: &'m MultiStageGcn, t: &GraphTensors, x: &Matrix) -> Result<Self> {
-        Self::open(model.stages(), model.filter_threshold(), t, x)
+        Self::open(
+            model.stages(),
+            model.filter_threshold(),
+            t,
+            x,
+            &Budget::unlimited(),
+        )
+    }
+
+    /// [`CascadeSession::for_cascade`] under a cooperative work
+    /// [`Budget`]; the opening full pass charges one unit per node per
+    /// layer across every stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the graph, or a budget
+    /// error from the inter-layer checkpoints.
+    pub fn for_cascade_budgeted(
+        model: &'m MultiStageGcn,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Self> {
+        Self::open(model.stages(), model.filter_threshold(), t, x, budget)
     }
 
     fn open(
@@ -308,12 +397,13 @@ impl<'m> CascadeSession<'m> {
         filter_threshold: f32,
         t: &GraphTensors,
         x: &Matrix,
+        budget: &Budget,
     ) -> Result<Self> {
         let n = t.node_count();
         let mut caches = Vec::with_capacity(stages.len());
         let mut stage_probs = Vec::with_capacity(stages.len());
         for gcn in stages {
-            let cache = gcn.embed_cached(t, x)?;
+            let cache = gcn.embed_cached_budgeted(t, x, budget)?;
             let probs = ops::softmax_rows(&gcn.head().predict(cache.final_embedding())?);
             stage_probs.push((0..n).map(|r| probs.get(r, 1)).collect());
             caches.push(cache);
@@ -368,9 +458,38 @@ impl<'m> CascadeSession<'m> {
         x: &Matrix,
         dirty: &[usize],
     ) -> Result<SessionDelta> {
+        self.refresh_budgeted(t, x, dirty, &Budget::unlimited())
+    }
+
+    /// [`CascadeSession::refresh`] under a cooperative work [`Budget`]:
+    /// every stage's halo recompute charges the budget per layer. A budget
+    /// stop mid-refresh rolls back the stages already patched, leaving the
+    /// session exactly as before the call.
+    ///
+    /// # Errors
+    ///
+    /// As [`CascadeSession::refresh`], plus budget errors
+    /// ([`TensorError::BudgetExceeded`] / [`TensorError::Cancelled`]).
+    pub fn refresh_budgeted(
+        &mut self,
+        t: &GraphTensors,
+        x: &Matrix,
+        dirty: &[usize],
+        budget: &Budget,
+    ) -> Result<SessionDelta> {
         let mut stage_deltas = Vec::with_capacity(self.stages.len());
         for (gcn, cache) in self.stages.iter().zip(&mut self.caches) {
-            stage_deltas.push(gcn.embed_incremental(t, x, cache, dirty)?);
+            match gcn.embed_incremental_budgeted(t, x, cache, dirty, budget) {
+                Ok(delta) => stage_deltas.push(delta),
+                Err(e) => {
+                    // Earlier stages already adopted the new rows; restore
+                    // them so an interrupted refresh is side-effect free.
+                    for (cache, d) in self.caches.iter_mut().zip(stage_deltas) {
+                        cache.revert(d);
+                    }
+                    return Err(e);
+                }
+            }
         }
         // The halo is graph-structural, hence identical across stages.
         let rows: Vec<usize> = stage_deltas[0].final_rows().to_vec();

@@ -1,7 +1,7 @@
 use serde::{Deserialize, Serialize};
 
 use gcnt_nn::{Linear, LinearGrads, Mlp, MlpCache, MlpGrads, Rng};
-use gcnt_tensor::{ops, Matrix, Result};
+use gcnt_tensor::{ops, Budget, Matrix, Result};
 
 use crate::GraphTensors;
 
@@ -209,8 +209,24 @@ impl Gcn {
     ///
     /// Returns a shape error if `x` does not match the graph/node shape.
     pub fn embed(&self, t: &GraphTensors, x: &Matrix) -> Result<Matrix> {
+        self.embed_budgeted(t, x, &Budget::unlimited())
+    }
+
+    /// [`Gcn::embed`] under a cooperative work [`Budget`]: each layer
+    /// charges one unit per node *before* computing, so an exhausted or
+    /// cancelled budget stops the pass at a layer boundary instead of
+    /// running to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the graph/node shape,
+    /// or a budget error ([`gcnt_tensor::TensorError::BudgetExceeded`] /
+    /// [`gcnt_tensor::TensorError::Cancelled`]) from the checkpoint
+    /// between layers.
+    pub fn embed_budgeted(&self, t: &GraphTensors, x: &Matrix, budget: &Budget) -> Result<Matrix> {
         let mut e = x.clone();
         for enc in &self.encoders {
+            budget.charge(e.rows() as u64)?;
             let (g, _, _) = t.aggregate(&e, self.w_pr(), self.w_su())?;
             e = ops::relu(&enc.forward(&g)?);
         }
@@ -223,7 +239,23 @@ impl Gcn {
     ///
     /// Returns a shape error if `x` does not match the graph/node shape.
     pub fn predict_proba(&self, t: &GraphTensors, x: &Matrix) -> Result<Vec<f32>> {
-        let logits = self.predict(t, x)?;
+        self.predict_proba_budgeted(t, x, &Budget::unlimited())
+    }
+
+    /// [`Gcn::predict_proba`] under a cooperative work [`Budget`]; see
+    /// [`Gcn::embed_budgeted`] for the checkpoint semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the graph/node shape,
+    /// or a budget error from the inter-layer checkpoints.
+    pub fn predict_proba_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Vec<f32>> {
+        let logits = self.head.predict(&self.embed_budgeted(t, x, budget)?)?;
         let probs = ops::softmax_rows(&logits);
         Ok((0..probs.rows()).map(|r| probs.get(r, 1)).collect())
     }

@@ -207,11 +207,29 @@ impl MultiStageGcn {
     ///
     /// Returns a shape error if the graph disagrees with the model.
     pub fn predict_proba(&self, t: &GraphTensors, x: &Matrix) -> Result<Vec<f32>> {
+        self.predict_proba_budgeted(t, x, &gcnt_tensor::Budget::unlimited())
+    }
+
+    /// [`MultiStageGcn::predict_proba`] under a cooperative work
+    /// [`gcnt_tensor::Budget`]: every stage's layers charge the budget
+    /// before computing, so an exhausted or cancelled budget stops the
+    /// cascade at a layer boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the graph disagrees with the model, or a
+    /// budget error from the inter-layer checkpoints.
+    pub fn predict_proba_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &gcnt_tensor::Budget,
+    ) -> Result<Vec<f32>> {
         let n = t.node_count();
         let mut out = vec![0.0f32; n];
         let mut alive: Vec<bool> = vec![true; n];
         for (s, gcn) in self.stages.iter().enumerate() {
-            let probs = gcn.predict_proba(t, x)?;
+            let probs = gcn.predict_proba_budgeted(t, x, budget)?;
             let last = s + 1 == self.stages.len();
             for i in 0..n {
                 if !alive[i] {

@@ -231,12 +231,7 @@ fn most_skewed_fanin(net: &Netlist, v: NodeId, prob_one: &[f64]) -> Option<(usiz
         .iter()
         .enumerate()
         .map(|(pin, &u)| (pin, prob_one[u.index()]))
-        .max_by(|(_, a), (_, b)| {
-            (a - 0.5)
-                .abs()
-                .partial_cmp(&(b - 0.5).abs())
-                .expect("signal probabilities are finite")
-        })
+        .max_by(|(_, a), (_, b)| (a - 0.5).abs().total_cmp(&(b - 0.5).abs()))
 }
 
 #[cfg(test)]

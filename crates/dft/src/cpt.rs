@@ -16,6 +16,7 @@
 
 use gcnt_netlist::{CellKind, Netlist, NodeId};
 
+use crate::error::DftError;
 use crate::sim::PatternSim;
 
 /// Computes the 64-pattern sensitivity word of every node given the good
@@ -23,10 +24,28 @@ use crate::sim::PatternSim;
 ///
 /// # Panics
 ///
-/// Panics if `values.len()` differs from the node count.
+/// Panics if `values.len()` differs from the node count — provable at call
+/// sites whose `values` came from the same simulator's `simulate`. Call
+/// sites without that invariant should use [`try_sensitivity`].
 pub fn sensitivity(sim: &PatternSim<'_>, values: &[u64]) -> Vec<u64> {
+    try_sensitivity(sim, values).expect("values came from the same simulator")
+}
+
+/// Fallible variant of [`sensitivity`]: a wrong buffer length becomes a
+/// typed error instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`DftError::WordCount`] if `values.len()` differs from the node
+/// count.
+pub fn try_sensitivity(sim: &PatternSim<'_>, values: &[u64]) -> Result<Vec<u64>, DftError> {
     let net = sim.netlist();
-    assert_eq!(values.len(), net.node_count(), "one word per node");
+    if values.len() != net.node_count() {
+        return Err(DftError::WordCount {
+            expected: net.node_count(),
+            actual: values.len(),
+        });
+    }
     let mut sens = vec![0u64; net.node_count()];
     // Observable sinks are fully sensitive. DFF D-input drivers must be
     // marked *before* the sweep: a DFF is a pseudo-source, so it sits early
@@ -58,7 +77,7 @@ pub fn sensitivity(sim: &PatternSim<'_>, values: &[u64]) -> Vec<u64> {
         }
         propagate_to_fanins(net, u, kind, su, values, &mut sens);
     }
-    sens
+    Ok(sens)
 }
 
 fn propagate_to_fanins(
@@ -116,13 +135,41 @@ fn propagate_to_fanins(
 /// Exact single-fault simulation (reference implementation for tests and
 /// small-circuit validation): returns the word of patterns under which the
 /// given stuck-at fault is detected at any observable point.
+///
+/// # Panics
+///
+/// Panics if `good.len()` differs from the node count; see
+/// [`try_exact_detection`] for the fallible variant.
 pub fn exact_detection(
     sim: &PatternSim<'_>,
     good: &[u64],
     fault_node: NodeId,
     stuck_at: bool,
 ) -> u64 {
+    try_exact_detection(sim, good, fault_node, stuck_at)
+        .expect("good values came from the same simulator")
+}
+
+/// Fallible variant of [`exact_detection`]: a wrong buffer length becomes
+/// a typed error instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`DftError::WordCount`] if `good.len()` differs from the node
+/// count.
+pub fn try_exact_detection(
+    sim: &PatternSim<'_>,
+    good: &[u64],
+    fault_node: NodeId,
+    stuck_at: bool,
+) -> Result<u64, DftError> {
     let net = sim.netlist();
+    if good.len() != net.node_count() {
+        return Err(DftError::WordCount {
+            expected: net.node_count(),
+            actual: good.len(),
+        });
+    }
     let mut faulty = good.to_vec();
     faulty[fault_node.index()] = if stuck_at { !0u64 } else { 0u64 };
     // Re-evaluate everything downstream of the fault in topo order.
@@ -136,16 +183,17 @@ pub fn exact_detection(
     for id in net.nodes() {
         let observed = match net.kind(id) {
             CellKind::Output => faulty[id.index()] ^ good[id.index()],
-            // A DFF's D input is observed through the scan chain.
-            CellKind::Dff => {
-                let d = net.fanin(id)[0];
-                faulty[d.index()] ^ good[d.index()]
-            }
+            // A DFF's D input is observed through the scan chain. A DFF
+            // with no driver observes nothing (its scan state is free).
+            CellKind::Dff => match net.fanin(id).first() {
+                Some(&d) => faulty[d.index()] ^ good[d.index()],
+                None => 0,
+            },
             _ => 0,
         };
         detected |= observed;
     }
-    detected
+    Ok(detected)
 }
 
 fn eval(net: &Netlist, id: NodeId, values: &[u64]) -> u64 {
@@ -325,6 +373,25 @@ mod tests {
                 assert_eq!(cpt, exact, "fault {id} sa{} mismatch", u8::from(stuck));
             }
         }
+    }
+
+    #[test]
+    fn wrong_value_buffer_is_a_typed_error() {
+        let mut net = Netlist::new("short");
+        let a = net.add_cell(CellKind::Input);
+        let o = net.add_cell(CellKind::Output);
+        net.connect(a, o).unwrap();
+        let sim = PatternSim::new(&net).unwrap();
+        let err = try_sensitivity(&sim, &[0u64]).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::DftError::WordCount {
+                expected: 2,
+                actual: 1
+            }
+        );
+        let err = try_exact_detection(&sim, &[0u64], a, true).unwrap_err();
+        assert!(matches!(err, crate::error::DftError::WordCount { .. }));
     }
 
     /// On reconvergent circuits CPT is approximate but must still agree

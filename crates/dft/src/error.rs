@@ -1,0 +1,76 @@
+//! Typed errors for the DFT substrate.
+//!
+//! The simulation and fault-grading kernels historically panicked on
+//! malformed inputs (wrong buffer lengths, gates with no fanin). Long-lived
+//! callers — the serving layer in particular — need those paths to fail as
+//! values instead, so the `try_*` variants in [`crate::sim`] and
+//! [`crate::cpt`] return a [`DftError`]. The panicking entry points remain
+//! for call sites whose invariants are locally provable.
+
+use std::fmt;
+
+use gcnt_netlist::NetlistError;
+
+/// Errors produced by the DFT kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DftError {
+    /// A per-node word buffer had the wrong length for the bound netlist.
+    WordCount {
+        /// Words expected (one per node).
+        expected: usize,
+        /// Words actually supplied.
+        actual: usize,
+    },
+    /// The netlist substrate reported an error (cyclic logic, bad arity).
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for DftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DftError::WordCount { expected, actual } => {
+                write!(f, "pattern buffer has {actual} words, expected {expected}")
+            }
+            DftError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DftError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DftError::Netlist(e) => Some(e),
+            DftError::WordCount { .. } => None,
+        }
+    }
+}
+
+impl From<NetlistError> for DftError {
+    fn from(e: NetlistError) -> Self {
+        DftError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnt_netlist::NodeId;
+
+    #[test]
+    fn display_word_count() {
+        let e = DftError::WordCount {
+            expected: 10,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("3 words"));
+        assert!(e.to_string().contains("expected 10"));
+    }
+
+    #[test]
+    fn netlist_error_wraps_with_source() {
+        use std::error::Error;
+        let e = DftError::from(NetlistError::UnknownNode(NodeId::from_index(4)));
+        assert!(e.to_string().contains("netlist error"));
+        assert!(e.source().is_some());
+    }
+}

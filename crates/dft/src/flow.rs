@@ -45,18 +45,24 @@ use gcnt_lint::{
     lint_embedding_caches, lint_graph_tensors, lint_netlist, lint_scoap, LintReport, RuleId,
 };
 use gcnt_netlist::{logic_levels, CellKind, Netlist, NetlistError, NodeId, Scoap};
-use gcnt_tensor::{Matrix, TensorError};
+use gcnt_tensor::{Budget, Matrix, TensorError};
 
 /// Errors produced by the insertion flow.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlowError {
     /// The netlist substrate reported an error.
     Netlist(NetlistError),
-    /// A tensor kernel reported an error (model/graph shape mismatch).
+    /// A tensor kernel reported an error (model/graph shape mismatch, or a
+    /// work-budget stop from a cooperative checkpoint).
     Tensor(TensorError),
     /// The re-lint after an incremental graph update found `Error`-severity
     /// violations; the report lists them with their rule ids.
     Lint(Box<LintReport>),
+    /// The batch observer of a resumable run ([`run_gcn_opi_resumable`])
+    /// refused a committed batch — typically a write-ahead journal that
+    /// could not persist the record. The design keeps the batch; the flow
+    /// stops so no work the journal did not capture can pile up.
+    Journal(String),
 }
 
 impl fmt::Display for FlowError {
@@ -65,6 +71,7 @@ impl fmt::Display for FlowError {
             FlowError::Netlist(e) => write!(f, "netlist error: {e}"),
             FlowError::Tensor(e) => write!(f, "tensor error: {e}"),
             FlowError::Lint(report) => write!(f, "lint errors after graph update:\n{report}"),
+            FlowError::Journal(detail) => write!(f, "journal error: {detail}"),
         }
     }
 }
@@ -74,8 +81,22 @@ impl std::error::Error for FlowError {
         match self {
             FlowError::Netlist(e) => Some(e),
             FlowError::Tensor(e) => Some(e),
-            FlowError::Lint(_) => None,
+            FlowError::Lint(_) | FlowError::Journal(_) => None,
         }
+    }
+}
+
+impl FlowError {
+    /// Whether this error is a cooperative work-budget stop
+    /// ([`TensorError::BudgetExceeded`] or [`TensorError::Cancelled`])
+    /// rather than a real failure — the signal the serving layer uses to
+    /// step down its degradation ladder instead of failing the request.
+    pub fn is_budget_stop(&self) -> bool {
+        matches!(
+            self,
+            FlowError::Tensor(TensorError::BudgetExceeded { .. })
+                | FlowError::Tensor(TensorError::Cancelled)
+        )
     }
 }
 
@@ -184,6 +205,43 @@ pub trait FlowClassifier {
     fn full_rows_per_inference(&self, n: usize) -> u64 {
         n as u64
     }
+
+    /// [`FlowClassifier::classify`] under a cooperative work [`Budget`].
+    /// Budget-aware classifiers ([`Gcn`], [`MultiStageGcn`]) check between
+    /// layers; the default charges the whole pass up front and then runs
+    /// [`FlowClassifier::classify`], so even opaque closures participate
+    /// in budget accounting at call granularity.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlowClassifier::classify`], plus
+    /// [`TensorError::BudgetExceeded`] / [`TensorError::Cancelled`].
+    fn classify_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Vec<f32>, TensorError> {
+        budget.charge(self.full_rows_per_inference(t.node_count()))?;
+        self.classify(t, x)
+    }
+
+    /// [`FlowClassifier::open_session`] under a cooperative work
+    /// [`Budget`]; the default ignores the budget and opens an unbudgeted
+    /// session (or none).
+    ///
+    /// # Errors
+    ///
+    /// As [`FlowClassifier::open_session`], plus budget errors for
+    /// budget-aware classifiers.
+    fn open_session_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        _budget: &Budget,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        self.open_session(t, x)
+    }
 }
 
 impl<F> FlowClassifier for F
@@ -211,6 +269,24 @@ impl FlowClassifier for Gcn {
     fn full_rows_per_inference(&self, n: usize) -> u64 {
         self.depth() as u64 * n as u64
     }
+
+    fn classify_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Vec<f32>, TensorError> {
+        self.predict_proba_budgeted(t, x, budget)
+    }
+
+    fn open_session_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_gcn_budgeted(self, t, x, budget).map(Some)
+    }
 }
 
 impl FlowClassifier for &Gcn {
@@ -228,6 +304,24 @@ impl FlowClassifier for &Gcn {
 
     fn full_rows_per_inference(&self, n: usize) -> u64 {
         self.depth() as u64 * n as u64
+    }
+
+    fn classify_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Vec<f32>, TensorError> {
+        Gcn::predict_proba_budgeted(self, t, x, budget)
+    }
+
+    fn open_session_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_gcn_budgeted(self, t, x, budget).map(Some)
     }
 }
 
@@ -247,6 +341,24 @@ impl FlowClassifier for MultiStageGcn {
     fn full_rows_per_inference(&self, n: usize) -> u64 {
         self.stages().iter().map(|g| g.depth() as u64).sum::<u64>() * n as u64
     }
+
+    fn classify_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Vec<f32>, TensorError> {
+        self.predict_proba_budgeted(t, x, budget)
+    }
+
+    fn open_session_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_cascade_budgeted(self, t, x, budget).map(Some)
+    }
 }
 
 impl FlowClassifier for &MultiStageGcn {
@@ -264,6 +376,24 @@ impl FlowClassifier for &MultiStageGcn {
 
     fn full_rows_per_inference(&self, n: usize) -> u64 {
         self.stages().iter().map(|g| g.depth() as u64).sum::<u64>() * n as u64
+    }
+
+    fn classify_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Vec<f32>, TensorError> {
+        MultiStageGcn::predict_proba_budgeted(self, t, x, budget)
+    }
+
+    fn open_session_budgeted(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_cascade_budgeted(self, t, x, budget).map(Some)
     }
 }
 
@@ -352,6 +482,30 @@ pub struct FlowOutcome {
     pub inference: InferenceStats,
 }
 
+/// One committed prediction/insert iteration of a resumable run — the unit
+/// a write-ahead journal persists. A prefix of these records, replayed
+/// through [`run_gcn_opi_resumable`] against the *original* design, puts
+/// the flow back in the exact state it was in when the record was written:
+/// the continuation produces a [`FlowOutcome`] bit-identical to an
+/// uninterrupted run, inference accounting included.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// Iteration number (0-based), matching [`IterationStats::iteration`].
+    pub iteration: usize,
+    /// Positive predictions entering the iteration.
+    pub positives: usize,
+    /// Observation points committed this iteration, in insertion order.
+    pub inserted: Vec<NodeId>,
+    /// Candidates skipped (rolled back) this iteration under
+    /// [`FlowConfig::skip_budget`].
+    pub skipped: Vec<NodeId>,
+    /// Whether this iteration found no positive predictions — the flow
+    /// converged and no further batch follows.
+    pub converged: bool,
+    /// Inference accounting at the moment the record was written.
+    pub stats_after: InferenceStats,
+}
+
 /// Runs the iterative GCN-guided OP insertion flow, mutating `net`.
 ///
 /// `classify` is the trained model — pass a [`Gcn`] or [`MultiStageGcn`]
@@ -383,7 +537,85 @@ pub fn run_gcn_opi<F>(
 where
     F: FlowClassifier,
 {
-    run_flow(net, normalizer, classify, cfg, commit_insertion)
+    run_gcn_opi_budgeted(net, normalizer, classify, cfg, &Budget::unlimited())
+}
+
+/// [`run_gcn_opi`] under a cooperative work [`Budget`]: every inference —
+/// full passes, session refreshes, impact previews — checks the budget
+/// between GCN layers. A budget stop surfaces as
+/// [`TensorError::BudgetExceeded`] (or [`TensorError::Cancelled`]) with
+/// `net` left in the last consistent committed state, so a caller can
+/// restart or degrade without repair work.
+///
+/// # Errors
+///
+/// As [`run_gcn_opi`], plus budget errors from the cooperative
+/// checkpoints.
+pub fn run_gcn_opi_budgeted<F>(
+    net: &mut Netlist,
+    normalizer: &FeatureNormalizer,
+    classify: F,
+    cfg: &FlowConfig,
+    budget: &Budget,
+) -> Result<FlowOutcome, FlowError>
+where
+    F: FlowClassifier,
+{
+    run_flow(
+        net,
+        normalizer,
+        classify,
+        cfg,
+        budget,
+        &[],
+        commit_insertion,
+        &mut |_| Ok(()),
+    )
+}
+
+/// Resumable variant of [`run_gcn_opi_budgeted`] for long-running jobs
+/// behind a write-ahead journal.
+///
+/// `net` must be the **original** (pre-flow) design. `resume` is the
+/// prefix of [`BatchRecord`]s a previous run journaled (empty for a fresh
+/// run): their insertions are replayed — without re-running prediction or
+/// impact scoring — and the journaled [`BatchRecord::stats_after`]
+/// accounting is restored, after which the flow continues from the next
+/// iteration. `observer` is invoked once per *newly committed* batch
+/// (replayed batches are not re-observed); an observer error stops the
+/// flow with [`FlowError::Journal`] semantics: the batch stays committed
+/// in `net`, but no further un-journaled work happens.
+///
+/// Replay is idempotent in the sense that resuming from any journaled
+/// prefix — including the complete record set — yields a [`FlowOutcome`]
+/// bit-identical to the uninterrupted run.
+///
+/// # Errors
+///
+/// As [`run_gcn_opi_budgeted`], plus whatever `observer` returns.
+#[allow(clippy::type_complexity)]
+pub fn run_gcn_opi_resumable<F>(
+    net: &mut Netlist,
+    normalizer: &FeatureNormalizer,
+    classify: F,
+    cfg: &FlowConfig,
+    budget: &Budget,
+    resume: &[BatchRecord],
+    observer: &mut dyn FnMut(&BatchRecord) -> Result<(), FlowError>,
+) -> Result<FlowOutcome, FlowError>
+where
+    F: FlowClassifier,
+{
+    run_flow(
+        net,
+        normalizer,
+        classify,
+        cfg,
+        budget,
+        resume,
+        commit_insertion,
+        observer,
+    )
 }
 
 /// The incrementally maintained per-run design state: everything an
@@ -473,32 +705,48 @@ fn current_probs<F: FlowClassifier>(
     session: &mut Option<CascadeSession<'_>>,
     classify: &F,
     stats: &mut InferenceStats,
+    budget: &Budget,
 ) -> Result<Vec<f32>, FlowError> {
     match session.as_mut() {
         Some(s) => {
             let dirty = std::mem::take(&mut state.pending_dirty);
             if !dirty.is_empty() {
-                let delta = s.refresh(&state.tensors, &state.features, &dirty)?;
+                let delta =
+                    match s.refresh_budgeted(&state.tensors, &state.features, &dirty, budget) {
+                        Ok(delta) => delta,
+                        Err(e) => {
+                            // A budget stop rolled the session back; put the
+                            // dirty rows back too so a retry (with a fresh
+                            // budget) still refreshes them.
+                            state.pending_dirty = dirty;
+                            return Err(e.into());
+                        }
+                    };
                 note_refresh(stats, &delta);
             }
             Ok(s.probs().to_vec())
         }
         None => {
+            let probs = classify.classify_budgeted(&state.tensors, &state.features, budget)?;
             note_full_pass(stats, classify, state.tensors.node_count());
-            Ok(classify.classify(&state.tensors, &state.features)?)
+            Ok(probs)
         }
     }
 }
 
 /// The flow loop with an injectable commit step — production code enters
-/// through [`run_gcn_opi`]; tests substitute a failing commit to exercise
-/// the skip-budget rollback path.
+/// through [`run_gcn_opi`] and friends; tests substitute a failing commit
+/// to exercise the skip-budget rollback path.
+#[allow(clippy::too_many_arguments)]
 fn run_flow<F, C>(
     net: &mut Netlist,
     normalizer: &FeatureNormalizer,
     classify: F,
     cfg: &FlowConfig,
+    budget: &Budget,
+    resume: &[BatchRecord],
     mut commit: C,
+    observer: &mut dyn FnMut(&BatchRecord) -> Result<(), FlowError>,
 ) -> Result<FlowOutcome, FlowError>
 where
     F: FlowClassifier,
@@ -537,12 +785,62 @@ where
     let mut stats = InferenceStats::default();
 
     let result = (|| -> Result<(), FlowError> {
+        // Replay journaled batches against the original design: commit
+        // their insertions without re-running prediction or impact
+        // scoring, and restore the journaled accounting. The continuation
+        // below then behaves exactly as if this process had run the
+        // replayed iterations itself.
+        let mut start_iteration = 0usize;
+        // Whether the journal shows the iteration loop already exited
+        // (convergence or a no-progress iteration).
+        let mut loop_done = false;
+        for (k, rec) in resume.iter().enumerate() {
+            budget.charge(0)?; // cancellation checkpoint between batches
+            state.stale = vec![false; state.net.node_count()];
+            for &target in &rec.inserted {
+                commit(&mut state, target)?;
+                inserted.push(target);
+            }
+            skipped.extend(rec.skipped.iter().copied());
+            history.push(IterationStats {
+                iteration: rec.iteration,
+                positives: rec.positives,
+                inserted: rec.inserted.len(),
+            });
+            remaining = rec.positives;
+            if rec.converged {
+                converged = true;
+                loop_done = true;
+            } else if rec.inserted.is_empty() {
+                loop_done = true; // the run broke on a no-progress iteration
+            } else {
+                relint_incremental(&state.net, &state.tensors, &state.scoap, None)?;
+            }
+            // The uninterrupted run drained these dirty rows at the next
+            // iteration's refresh — already paid for inside the journaled
+            // stats — except for the *last* batch, whose refresh had not
+            // happened yet and must be re-done by the continuation.
+            if k + 1 < resume.len() {
+                state.pending_dirty.clear();
+            }
+            stats = rec.stats_after;
+            start_iteration = rec.iteration + 1;
+        }
+
+        if loop_done && converged {
+            // Nothing left to run or count; skip even the session opening
+            // so the budget is not charged for unused work.
+            return Ok(());
+        }
+
         // One live session for the whole run (Incremental mode with a
-        // session-capable classifier); its opening full pass is counted.
+        // session-capable classifier); its opening full pass is counted —
+        // except on resume, where the original run's opening pass is
+        // already inside the restored stats.
         let mut session: Option<CascadeSession<'_>> = match cfg.impact_mode {
             ImpactMode::Incremental => {
-                let s = classify.open_session(&state.tensors, &state.features)?;
-                if s.is_some() {
+                let s = classify.open_session_budgeted(&state.tensors, &state.features, budget)?;
+                if s.is_some() && resume.is_empty() {
                     note_full_pass(&mut stats, &classify, state.tensors.node_count());
                 }
                 s
@@ -550,8 +848,15 @@ where
             ImpactMode::Full => None,
         };
 
-        for iteration in 0..cfg.max_iterations {
-            let probs = current_probs(&mut state, &mut session, &classify, &mut stats)?;
+        let first_iteration = if loop_done {
+            cfg.max_iterations // skip straight to the final count
+        } else {
+            start_iteration
+        };
+        for iteration in first_iteration..cfg.max_iterations {
+            budget.charge(0)?; // cancellation checkpoint between iterations
+            let skipped_before = skipped.len();
+            let probs = current_probs(&mut state, &mut session, &classify, &mut stats, budget)?;
             // Positive predictions, excluding nodes that are already
             // observed or are themselves observe points.
             let mut positives: Vec<(NodeId, f32)> = state
@@ -570,6 +875,14 @@ where
                     positives: 0,
                     inserted: 0,
                 });
+                observer(&BatchRecord {
+                    iteration,
+                    positives: 0,
+                    inserted: Vec::new(),
+                    skipped: Vec::new(),
+                    converged: true,
+                    stats_after: stats,
+                })?;
                 break;
             }
             // Highest-probability candidates first.
@@ -589,10 +902,10 @@ where
                     &classify,
                     session.as_mut(),
                     &mut stats,
+                    budget,
                     v,
                     cfg,
-                )
-                .unwrap_or(0);
+                )?;
                 scored.push((v, impact, p));
             }
             scored.sort_by(|a, b| {
@@ -644,20 +957,32 @@ where
                 positives: remaining,
                 inserted: inserted_now,
             });
+            if inserted_now > 0 {
+                relint_incremental(
+                    &state.net,
+                    &state.tensors,
+                    &state.scoap,
+                    session.as_ref().map(|s| s.caches()),
+                )?;
+            }
+            // Journal the batch only once it is lint-clean: a record is a
+            // promise that the committed state is consistent.
+            observer(&BatchRecord {
+                iteration,
+                positives: remaining,
+                inserted: inserted[inserted.len() - inserted_now..].to_vec(),
+                skipped: skipped[skipped_before..].to_vec(),
+                converged: false,
+                stats_after: stats,
+            })?;
             if inserted_now == 0 {
                 break; // cannot make progress
             }
-            relint_incremental(
-                &state.net,
-                &state.tensors,
-                &state.scoap,
-                session.as_ref().map(|s| s.caches()),
-            )?;
         }
 
         // Final positive count if we exited by iteration cap.
         if !converged {
-            let probs = current_probs(&mut state, &mut session, &classify, &mut stats)?;
+            let probs = current_probs(&mut state, &mut session, &classify, &mut stats, budget)?;
             remaining = state
                 .net
                 .nodes()
@@ -702,6 +1027,7 @@ fn evaluate_impact<F: FlowClassifier>(
     classify: &F,
     session: Option<&mut CascadeSession<'_>>,
     stats: &mut InferenceStats,
+    budget: &Budget,
     target: NodeId,
     cfg: &FlowConfig,
 ) -> Result<i64, FlowError> {
@@ -730,7 +1056,7 @@ fn evaluate_impact<F: FlowClassifier>(
         dirty.push(i);
     }
     let scored = score_preview(
-        tensors, features, &dirty, &cone, classify, session, stats, cfg,
+        tensors, features, &dirty, &cone, classify, session, stats, budget, cfg,
     );
     // Always restore the previewed cells, error path included.
     for &(i, old) in undo.iter().rev() {
@@ -751,11 +1077,12 @@ fn score_preview<F: FlowClassifier>(
     classify: &F,
     session: Option<&mut CascadeSession<'_>>,
     stats: &mut InferenceStats,
+    budget: &Budget,
     cfg: &FlowConfig,
 ) -> Result<i64, FlowError> {
     match session {
         Some(s) => {
-            let delta = s.refresh(tensors, features, dirty)?;
+            let delta = s.refresh_budgeted(tensors, features, dirty, budget)?;
             note_refresh(stats, &delta);
             let pos = cone
                 .iter()
@@ -765,8 +1092,8 @@ fn score_preview<F: FlowClassifier>(
             Ok(pos)
         }
         None => {
+            let probs_after = classify.classify_budgeted(tensors, features, budget)?;
             note_full_pass(stats, classify, tensors.node_count());
-            let probs_after = classify.classify(tensors, features)?;
             Ok(cone
                 .iter()
                 .filter(|&&v| probs_after[v.index()] >= cfg.prob_threshold)
@@ -953,16 +1280,25 @@ mod tests {
         let mut net = shadowed_design(98);
         let before = net.node_count();
         let mut failures = 2;
-        let outcome = run_flow(&mut net, &norm, oracle(2.0), &cfg, |state, target| {
-            if failures > 0 {
-                failures -= 1;
-                // Poison the state before failing, to prove the rollback
-                // restores it rather than trusting commit to be atomic.
-                state.raw.push([9.0; RAW_DIM]);
-                return Err(FlowError::Netlist(NetlistError::UnknownNode(target)));
-            }
-            commit_insertion(state, target)
-        })
+        let outcome = run_flow(
+            &mut net,
+            &norm,
+            oracle(2.0),
+            &cfg,
+            &Budget::unlimited(),
+            &[],
+            |state, target| {
+                if failures > 0 {
+                    failures -= 1;
+                    // Poison the state before failing, to prove the rollback
+                    // restores it rather than trusting commit to be atomic.
+                    state.raw.push([9.0; RAW_DIM]);
+                    return Err(FlowError::Netlist(NetlistError::UnknownNode(target)));
+                }
+                commit_insertion(state, target)
+            },
+            &mut |_| Ok(()),
+        )
         .unwrap();
         assert_eq!(outcome.skipped.len(), 2, "{:?}", outcome.skipped);
         assert!(outcome.converged, "flow must still converge: {outcome:?}");
@@ -982,9 +1318,16 @@ mod tests {
             ..Default::default()
         };
         let before = net.node_count();
-        let err = run_flow(&mut net, &norm, oracle(2.0), &cfg, |_state, target| {
-            Err(FlowError::Netlist(NetlistError::UnknownNode(target)))
-        })
+        let err = run_flow(
+            &mut net,
+            &norm,
+            oracle(2.0),
+            &cfg,
+            &Budget::unlimited(),
+            &[],
+            |_state, target| Err(FlowError::Netlist(NetlistError::UnknownNode(target))),
+            &mut |_| Ok(()),
+        )
         .unwrap_err();
         assert!(matches!(err, FlowError::Netlist(_)), "{err}");
         // One skip was rolled back, the second failure aborted: the
@@ -1082,6 +1425,7 @@ mod tests {
                 &classify,
                 None,
                 &mut stats,
+                &Budget::unlimited(),
                 target,
                 &cfg,
             )
@@ -1159,6 +1503,198 @@ mod tests {
             );
         }
         assert_eq!(full.inference.rows_computed, full.inference.rows_full);
+    }
+
+    fn record_collector(records: &mut Vec<BatchRecord>) -> impl FnMut(&BatchRecord) + '_ {
+        move |r| records.push(r.clone())
+    }
+
+    /// Resuming from every journaled prefix — empty, mid-run, and the
+    /// complete record set — reproduces the uninterrupted outcome and
+    /// design bit-identically, inference accounting included.
+    #[test]
+    fn resume_from_any_prefix_is_bit_identical() {
+        use gcnt_core::{GcnConfig, GraphData};
+
+        let net = shadowed_design(103);
+        let data = GraphData::from_netlist(&net, None).unwrap();
+        let gcn = Gcn::new(
+            &GcnConfig {
+                embed_dims: vec![8, 8],
+                fc_dims: vec![8],
+                ..GcnConfig::default()
+            },
+            &mut gcnt_nn::seeded_rng(9),
+        );
+        let norm = data.normalizer.clone();
+        let cfg = FlowConfig {
+            max_iterations: 4,
+            ops_per_iteration: 4,
+            candidate_limit: 6,
+            ..Default::default()
+        };
+
+        let mut records = Vec::new();
+        let mut collect = record_collector(&mut records);
+        let mut net_ref = net.clone();
+        let reference = run_gcn_opi_resumable(
+            &mut net_ref,
+            &norm,
+            &gcn,
+            &cfg,
+            &Budget::unlimited(),
+            &[],
+            &mut |r| {
+                collect(r);
+                Ok(())
+            },
+        )
+        .unwrap();
+        drop(collect);
+        assert!(!records.is_empty());
+
+        for cut in 0..=records.len() {
+            let mut net_resumed = net.clone();
+            let resumed = run_gcn_opi_resumable(
+                &mut net_resumed,
+                &norm,
+                &gcn,
+                &cfg,
+                &Budget::unlimited(),
+                &records[..cut],
+                &mut |_| Ok(()),
+            )
+            .unwrap();
+            assert_eq!(resumed, reference, "prefix of {cut} records diverged");
+            assert_eq!(net_resumed, net_ref, "design diverged at prefix {cut}");
+        }
+    }
+
+    /// The continuation after a replay journals exactly the records the
+    /// uninterrupted run journals past the cut point — so a twice-resumed
+    /// journal is identical to a once-written one (replay idempotence at
+    /// the record level).
+    #[test]
+    fn continuation_re_journals_the_remaining_records() {
+        let net = shadowed_design(104);
+        let raw = gcnt_core::features::raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let cfg = FlowConfig {
+            max_iterations: 20,
+            ops_per_iteration: 4,
+            candidate_limit: 8,
+            ..Default::default()
+        };
+
+        let mut records = Vec::new();
+        let mut net_ref = net.clone();
+        run_gcn_opi_resumable(
+            &mut net_ref,
+            &norm,
+            oracle(2.0),
+            &cfg,
+            &Budget::unlimited(),
+            &[],
+            &mut |r| {
+                records.push(r.clone());
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(records.len() >= 2, "need a multi-batch run");
+
+        let cut = records.len() / 2;
+        let mut tail = Vec::new();
+        let mut net_resumed = net.clone();
+        run_gcn_opi_resumable(
+            &mut net_resumed,
+            &norm,
+            oracle(2.0),
+            &cfg,
+            &Budget::unlimited(),
+            &records[..cut],
+            &mut |r| {
+                tail.push(r.clone());
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(tail, records[cut..].to_vec());
+    }
+
+    /// An exhausted budget stops the flow with a typed error and leaves
+    /// the caller's design in a consistent committed state.
+    #[test]
+    fn budget_stop_leaves_a_consistent_design() {
+        let mut net = shadowed_design(105);
+        let raw = gcnt_core::features::raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        // The oracle closure charges full passes up front; a tiny cap
+        // stops the very first classification.
+        let err = run_gcn_opi_budgeted(
+            &mut net,
+            &norm,
+            oracle(2.0),
+            &FlowConfig::default(),
+            &Budget::with_cap(1),
+        )
+        .unwrap_err();
+        assert!(err.is_budget_stop(), "{err}");
+        assert!(!gcnt_lint::lint_netlist_deep(&net).has_errors());
+    }
+
+    /// An unlimited budget must not perturb the flow at all.
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_run() {
+        let mut net_a = shadowed_design(106);
+        let mut net_b = shadowed_design(106);
+        let raw = gcnt_core::features::raw_features_of(&net_a).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let cfg = FlowConfig::default();
+        let a = run_gcn_opi(&mut net_a, &norm, oracle(2.0), &cfg).unwrap();
+        let b = run_gcn_opi_budgeted(&mut net_b, &norm, oracle(2.0), &cfg, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(net_a, net_b);
+    }
+
+    /// An observer refusal stops the flow but keeps the committed batch:
+    /// no un-journaled work piles up, and the design stays consistent.
+    #[test]
+    fn observer_error_aborts_after_the_batch() {
+        let mut net = shadowed_design(107);
+        let before = net.node_count();
+        let raw = gcnt_core::features::raw_features_of(&net).unwrap();
+        let norm = FeatureNormalizer::fit(&[&raw]);
+        let cfg = FlowConfig {
+            max_iterations: 20,
+            ops_per_iteration: 2,
+            ..Default::default()
+        };
+        let mut seen = 0usize;
+        let err = run_gcn_opi_resumable(
+            &mut net,
+            &norm,
+            oracle(2.0),
+            &cfg,
+            &Budget::unlimited(),
+            &[],
+            &mut |r| {
+                seen += 1;
+                if seen == 1 {
+                    assert!(!r.inserted.is_empty());
+                    Err(FlowError::Journal("disk full".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlowError::Journal(_)), "{err}");
+        assert_eq!(seen, 1, "flow must stop at the refused batch");
+        // The refused batch's insertions stay committed.
+        assert!(net.node_count() > before);
+        assert!(!gcnt_lint::lint_netlist_deep(&net).has_errors());
     }
 
     /// Closures have no session: Incremental mode silently falls back to

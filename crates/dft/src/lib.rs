@@ -37,8 +37,11 @@ pub mod baseline;
 pub mod cp;
 pub mod cpt;
 pub mod equiv;
+pub mod error;
 pub mod fault;
 pub mod flow;
 pub mod labeler;
 pub mod report;
 pub mod sim;
+
+pub use error::DftError;

@@ -11,7 +11,9 @@
 
 use rand::RngCore;
 
-use gcnt_netlist::{CellKind, Netlist, NodeId, Result};
+use gcnt_netlist::{CellKind, Netlist, NetlistError, NodeId, Result};
+
+use crate::error::DftError;
 
 /// A levelised simulator bound to one netlist.
 ///
@@ -39,16 +41,27 @@ pub struct PatternSim<'a> {
 }
 
 impl<'a> PatternSim<'a> {
-    /// Levelises the netlist.
+    /// Levelises the netlist and validates that every gate has at least
+    /// one fanin, so the evaluation kernels (and the CPT sweep that reuses
+    /// this simulator) can index `fanin[0]` without re-checking per gate.
     ///
     /// # Errors
     ///
-    /// Returns a netlist error if the combinational logic is cyclic.
+    /// Returns a netlist error if the combinational logic is cyclic or a
+    /// non-pseudo-input cell has no fanin.
     pub fn new(net: &'a Netlist) -> Result<Self> {
-        Ok(PatternSim {
-            net,
-            order: net.topo_order()?,
-        })
+        let order = net.topo_order()?;
+        for id in net.nodes() {
+            let kind = net.kind(id);
+            if !kind.is_pseudo_input() && net.fanin(id).is_empty() {
+                return Err(NetlistError::BadArity {
+                    node: id,
+                    kind,
+                    fanins: 0,
+                });
+            }
+        }
+        Ok(PatternSim { net, order })
     }
 
     /// The netlist this simulator is bound to.
@@ -74,9 +87,37 @@ impl<'a> PatternSim<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `values.len()` differs from the node count.
+    /// Panics if `values.len()` differs from the node count. Call sites
+    /// that cannot prove the length locally should use
+    /// [`PatternSim::try_simulate_into`].
     pub fn simulate_into(&self, stimuli: &impl Fn(NodeId) -> u64, values: &mut [u64]) {
         assert_eq!(values.len(), self.net.node_count(), "one word per node");
+        self.fill(stimuli, values);
+    }
+
+    /// Fallible variant of [`PatternSim::simulate_into`]: a wrong buffer
+    /// length becomes a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DftError::WordCount`] if `values.len()` differs from the
+    /// node count.
+    pub fn try_simulate_into(
+        &self,
+        stimuli: &impl Fn(NodeId) -> u64,
+        values: &mut [u64],
+    ) -> std::result::Result<(), DftError> {
+        if values.len() != self.net.node_count() {
+            return Err(DftError::WordCount {
+                expected: self.net.node_count(),
+                actual: values.len(),
+            });
+        }
+        self.fill(stimuli, values);
+        Ok(())
+    }
+
+    fn fill(&self, stimuli: &impl Fn(NodeId) -> u64, values: &mut [u64]) {
         for &id in &self.order {
             let kind = self.net.kind(id);
             if kind.is_pseudo_input() {
@@ -100,7 +141,8 @@ impl<'a> PatternSim<'a> {
     }
 }
 
-/// Evaluates one gate over pattern words.
+/// Evaluates one gate over pattern words. `fanin` is non-empty for every
+/// kind this is called with: [`PatternSim::new`] rejects fanin-less gates.
 fn eval_gate(kind: CellKind, fanin: &[NodeId], values: &[u64]) -> u64 {
     let f = |i: usize| values[fanin[i].index()];
     match kind {
@@ -250,5 +292,36 @@ mod tests {
         let sim = PatternSim::new(&net).unwrap();
         let mut buf = vec![0u64; 1];
         sim.simulate_into(&|_| 0, &mut buf);
+    }
+
+    #[test]
+    fn try_simulate_into_reports_wrong_buffer_size() {
+        let (net, a, ..) = two_input(CellKind::Or);
+        let sim = PatternSim::new(&net).unwrap();
+        let mut short = vec![0u64; 1];
+        let err = sim.try_simulate_into(&|_| 0, &mut short).unwrap_err();
+        assert_eq!(
+            err,
+            DftError::WordCount {
+                expected: net.node_count(),
+                actual: 1
+            }
+        );
+        let mut buf = vec![0u64; net.node_count()];
+        sim.try_simulate_into(&|v: NodeId| if v == a { 1 } else { 0 }, &mut buf)
+            .unwrap();
+        assert_eq!(buf[2] & 1, 1);
+    }
+
+    #[test]
+    fn fanin_less_gate_is_rejected_at_construction() {
+        let mut net = Netlist::new("floating");
+        net.add_cell(CellKind::Input);
+        net.add_cell(CellKind::Not); // never connected
+        let err = PatternSim::new(&net).unwrap_err();
+        assert!(
+            matches!(err, NetlistError::BadArity { fanins: 0, .. }),
+            "{err}"
+        );
     }
 }

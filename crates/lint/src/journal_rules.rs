@@ -1,0 +1,107 @@
+//! Write-ahead journal rules: `JN001` per-record checksum integrity,
+//! `JN002` sequence continuity.
+//!
+//! The serve crate owns the journal *format*; this module only sees a
+//! plain [`JournalRecordMeta`] summary per record (mirroring how
+//! [`crate::CheckpointMeta`] keeps the linter free of runtime types), so
+//! any journaling consumer can validate a recovered record stream before
+//! replaying it.
+
+use crate::report::{LintReport, RuleId};
+
+/// Format-level facts about one recovered journal record, as observed by
+/// whoever parsed the journal file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecordMeta {
+    /// Sequence number the record declares.
+    pub seq: u64,
+    /// Checksum stored in the record (hex).
+    pub stored_checksum: String,
+    /// Checksum recomputed over the record's payload (hex).
+    pub computed_checksum: String,
+}
+
+/// Checks a recovered record stream: `JN001` fires per record whose
+/// stored checksum disagrees with its payload, `JN002` fires where the
+/// declared sequence numbers deviate from `0, 1, 2, ...`.
+///
+/// `path` names the journal in the findings' context. An empty stream is
+/// clean — a journal that never got its first record is a valid fresh
+/// start, not a gap.
+pub fn lint_journal_records(path: &str, records: &[JournalRecordMeta]) -> LintReport {
+    let mut report = LintReport::new();
+    for (expected, rec) in records.iter().enumerate() {
+        if rec.stored_checksum != rec.computed_checksum {
+            report.report(
+                RuleId::JournalChecksumMismatch,
+                path,
+                format!(
+                    "record {} stores checksum {} but its payload hashes to {}",
+                    rec.seq, rec.stored_checksum, rec.computed_checksum
+                ),
+            );
+        }
+        if rec.seq != expected as u64 {
+            report.report(
+                RuleId::JournalSequenceGap,
+                path,
+                format!(
+                    "record at position {expected} declares sequence {}",
+                    rec.seq
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_stream(n: u64) -> Vec<JournalRecordMeta> {
+        (0..n)
+            .map(|seq| JournalRecordMeta {
+                seq,
+                stored_checksum: format!("{seq:016x}"),
+                computed_checksum: format!("{seq:016x}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_stream_yields_empty_report() {
+        assert!(lint_journal_records("job.wal", &clean_stream(4)).is_clean());
+        assert!(lint_journal_records("job.wal", &[]).is_clean());
+    }
+
+    #[test]
+    fn corrupt_record_fires_jn001() {
+        let mut records = clean_stream(3);
+        records[1].computed_checksum = "0badf00d".to_string();
+        let report = lint_journal_records("job.wal", &records);
+        assert!(report.fired(RuleId::JournalChecksumMismatch));
+        assert!(!report.fired(RuleId::JournalSequenceGap));
+        assert!(report.has_errors());
+        assert_eq!(RuleId::JournalChecksumMismatch.code(), "JN001");
+    }
+
+    #[test]
+    fn missing_record_fires_jn002() {
+        let mut records = clean_stream(4);
+        records.remove(2); // seqs 0, 1, 3
+        let report = lint_journal_records("job.wal", &records);
+        assert!(report.fired(RuleId::JournalSequenceGap));
+        assert_eq!(RuleId::JournalSequenceGap.code(), "JN002");
+        // Only positions from the gap on are misnumbered.
+        assert_eq!(report.of_rule(RuleId::JournalSequenceGap).count(), 1);
+    }
+
+    #[test]
+    fn reordered_records_fire_jn002_per_offender() {
+        let mut records = clean_stream(3);
+        records.swap(0, 2);
+        let report = lint_journal_records("job.wal", &records);
+        assert_eq!(report.of_rule(RuleId::JournalSequenceGap).count(), 2);
+    }
+}

@@ -28,6 +28,8 @@
 //! | `CK002` | `checkpoint-version-unsupported` | error | checkpoint format version known |
 //! | `CK003` | `checkpoint-missing-state` | error | resume state sections present |
 //! | `EC001` | `embedding-cache-consistency` | error | incremental caches match their graph |
+//! | `JN001` | `journal-record-checksum-mismatch` | error | journal record payload integrity |
+//! | `JN002` | `journal-sequence-gap` | error | journal records consecutively numbered |
 //!
 //! The catalogue is available programmatically via [`registry::RULES`].
 //!
@@ -43,6 +45,8 @@
 //!   — model parameters, e.g. after loading a checkpoint.
 //! - [`lint_checkpoint_meta`] / [`lint_optimizer_shape`] — checkpoint
 //!   file metadata (checksum, version, required state sections).
+//! - [`lint_journal_records`] — a recovered write-ahead journal record
+//!   stream, validated before a killed flow job is replayed.
 //! - [`lint_embedding_cache`] / [`lint_embedding_caches`] — incremental
 //!   inference caches against their graph, checked by the flow after
 //!   every insertion batch.
@@ -74,12 +78,14 @@ pub mod report;
 
 mod checkpoint_rules;
 mod embedding_rules;
+mod journal_rules;
 mod model_rules;
 mod netlist_rules;
 mod tensor_rules;
 
 pub use checkpoint_rules::{lint_checkpoint_meta, lint_optimizer_shape, CheckpointMeta};
 pub use embedding_rules::{lint_embedding_cache, lint_embedding_caches};
+pub use journal_rules::{lint_journal_records, JournalRecordMeta};
 pub use model_rules::{lint_gcn, lint_linear, lint_mlp, lint_multistage};
 pub use netlist_rules::{lint_levels, lint_netlist, lint_netlist_deep, lint_scoap};
 pub use report::{Finding, LintReport, RuleId, Severity};

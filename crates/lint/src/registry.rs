@@ -127,6 +127,20 @@ pub const RULES: &[RuleDescriptor] = &[
         severity: Severity::Error,
         summary: "embedding cache disagrees with its graph (rows or generation)",
     },
+    RuleDescriptor {
+        id: RuleId::JournalChecksumMismatch,
+        code: "JN001",
+        slug: "journal-record-checksum-mismatch",
+        severity: Severity::Error,
+        summary: "journal record payload checksum differs from the stored one",
+    },
+    RuleDescriptor {
+        id: RuleId::JournalSequenceGap,
+        code: "JN002",
+        slug: "journal-sequence-gap",
+        severity: Severity::Error,
+        summary: "journal records are not consecutively numbered from zero",
+    },
 ];
 
 /// Looks up the descriptor of a rule.
@@ -159,6 +173,7 @@ mod tests {
         assert!(RULES.iter().any(|r| r.code.starts_with("MD")));
         assert!(RULES.iter().any(|r| r.code.starts_with("CK")));
         assert!(RULES.iter().any(|r| r.code.starts_with("EC")));
-        assert_eq!(RULES.len(), 15);
+        assert!(RULES.iter().any(|r| r.code.starts_with("JN")));
+        assert_eq!(RULES.len(), 17);
     }
 }

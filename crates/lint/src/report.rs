@@ -79,6 +79,12 @@ pub enum RuleId {
     /// embedding cache disagrees with its graph (layer row counts differ
     /// from the node count, or the generations do not match).
     EmbeddingCacheConsistency,
+    /// `JN001 journal-record-checksum-mismatch`: a write-ahead journal
+    /// record's stored checksum disagrees with its payload.
+    JournalChecksumMismatch,
+    /// `JN002 journal-sequence-gap`: write-ahead journal records are not
+    /// consecutively numbered from zero (a record was lost or reordered).
+    JournalSequenceGap,
 }
 
 impl RuleId {

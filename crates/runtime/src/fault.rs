@@ -1,20 +1,43 @@
 //! Deterministic fault injection for recovery testing.
 //!
 //! A [`FaultPlan`] names exact injection points — "poison the gradient at
-//! epoch 3", "kill worker 1 at epoch 2" — so every injected failure is
-//! reproducible without a random source. The injection hooks compile to
-//! no-ops unless the `fault-inject` cargo feature is on, so production
-//! builds carry no fault paths; the CI fault-injection job runs the
-//! test-suite with the feature enabled.
+//! epoch 3", "kill worker 1 at epoch 2", "abort after journal record 4" —
+//! so every injected failure is reproducible without a random source. The
+//! injection hooks compile to no-ops unless the `fault-inject` cargo
+//! feature is on, so production builds carry no fault paths; the CI
+//! fault-injection jobs run the test-suite and the `gcnt serve`
+//! fault-matrix with the feature enabled.
+//!
+//! Beyond the training faults, the plan carries *serving-path* faults for
+//! the long-lived inference/flow service:
+//!
+//! * **latency** — a work-cost multiplier, making every embedding row
+//!   cost N budget units so deadline pressure is reproducible;
+//! * **queue saturation** — admission control behaves as if the bounded
+//!   queue were full;
+//! * **stale-cache poisoning** — the incremental rung of one request
+//!   fails with a stale-cache error, forcing the degradation ladder down;
+//! * **kill after journal record** — the process aborts right after the
+//!   Nth write-ahead record reaches disk, between two batches of a flow
+//!   job, for crash-resume testing.
 
-/// A plan of faults to inject into a training run. With the
-/// `fault-inject` feature disabled this is always the empty plan.
+/// A plan of faults to inject into a training run or a serving process.
+/// With the `fault-inject` feature disabled this is always the empty
+/// plan.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     #[cfg(feature = "fault-inject")]
     nan_grad_epoch: Option<usize>,
     #[cfg(feature = "fault-inject")]
     kill_worker: Option<(usize, usize)>,
+    #[cfg(feature = "fault-inject")]
+    latency_multiplier: Option<u64>,
+    #[cfg(feature = "fault-inject")]
+    queue_saturation: bool,
+    #[cfg(feature = "fault-inject")]
+    cache_poison_request: Option<u64>,
+    #[cfg(feature = "fault-inject")]
+    kill_after_record: Option<u64>,
 }
 
 impl FaultPlan {
@@ -65,6 +88,154 @@ impl FaultPlan {
             false
         }
     }
+
+    /// Multiplies every embedding-row's budget cost, simulating an N×
+    /// slower machine so deadline pressure is reproducible.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_latency_multiplier(mut self, multiplier: u64) -> Self {
+        self.latency_multiplier = Some(multiplier.max(1));
+        self
+    }
+
+    /// Makes admission control behave as if the bounded request queue
+    /// were permanently full, so every submission is rejected.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_queue_saturation(mut self) -> Self {
+        self.queue_saturation = true;
+        self
+    }
+
+    /// Poisons the incremental-inference cache for the request with the
+    /// given admission index (0-based): its incremental rung fails with a
+    /// stale-cache error, forcing the degradation ladder down. One-shot.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_cache_poison(mut self, request_index: u64) -> Self {
+        self.cache_poison_request = Some(request_index);
+        self
+    }
+
+    /// Aborts the process immediately after the write-ahead journal record
+    /// with the given sequence number reaches disk — a deterministic
+    /// `kill -9` between two committed batches of a flow job.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_kill_after_record(mut self, seq: u64) -> Self {
+        self.kill_after_record = Some(seq);
+        self
+    }
+
+    /// Serving hook: the injected work-cost multiplier (`1` = no fault).
+    pub fn latency_multiplier(&self) -> u64 {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.latency_multiplier.unwrap_or(1)
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            1
+        }
+    }
+
+    /// Serving hook: whether admission control should pretend the queue
+    /// is full.
+    pub fn queue_saturated(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.queue_saturation
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            false
+        }
+    }
+
+    /// Serving hook: whether the request with this admission index should
+    /// see a poisoned incremental cache. One-shot — the poison clears once
+    /// consumed, so the retry path sees a healthy cache.
+    pub fn take_cache_poison(&mut self, request_index: u64) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            if self.cache_poison_request == Some(request_index) {
+                self.cache_poison_request = None;
+                return true;
+            }
+            false
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = request_index;
+            false
+        }
+    }
+
+    /// Serving hook: whether the process should abort after persisting
+    /// the journal record with this sequence number.
+    pub fn should_kill_after_record(&self, seq: u64) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.kill_after_record == Some(seq)
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = seq;
+            false
+        }
+    }
+
+    /// Parses a plan from JSON, e.g.
+    /// `{"latency_multiplier": 10, "kill_after_record": 1}`. Recognised
+    /// keys: `nan_grad_epoch`, `kill_worker` (`[epoch, worker]`),
+    /// `latency_multiplier`, `queue_saturation` (bool),
+    /// `cache_poison_request`, `kill_after_record`. Unknown keys are
+    /// rejected so a typo cannot silently disable a planned fault.
+    ///
+    /// Only available with the `fault-inject` feature: a production build
+    /// cannot be handed a fault plan at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or unknown field.
+    #[cfg(feature = "fault-inject")]
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        use serde::Value;
+
+        let value: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let Value::Object(fields) = value else {
+            return Err("fault plan must be a JSON object".to_string());
+        };
+        let as_u64 = |v: &Value, key: &str| -> Result<u64, String> {
+            match v {
+                Value::Number(n) => n
+                    .as_u64()
+                    .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+                _ => Err(format!("`{key}` must be a non-negative integer")),
+            }
+        };
+        let mut plan = FaultPlan::none();
+        for (key, v) in &fields {
+            match key.as_str() {
+                "nan_grad_epoch" => plan.nan_grad_epoch = Some(as_u64(v, key)? as usize),
+                "kill_worker" => match v {
+                    Value::Array(pair) if pair.len() == 2 => {
+                        let epoch = as_u64(&pair[0], key)? as usize;
+                        let worker = as_u64(&pair[1], key)? as usize;
+                        plan.kill_worker = Some((epoch, worker));
+                    }
+                    _ => return Err("`kill_worker` must be `[epoch, worker]`".to_string()),
+                },
+                "latency_multiplier" => {
+                    plan.latency_multiplier = Some(as_u64(v, key)?.max(1));
+                }
+                "queue_saturation" => match v {
+                    Value::Bool(b) => plan.queue_saturation = *b,
+                    _ => return Err("`queue_saturation` must be a boolean".to_string()),
+                },
+                "cache_poison_request" => plan.cache_poison_request = Some(as_u64(v, key)?),
+                "kill_after_record" => plan.kill_after_record = Some(as_u64(v, key)?),
+                other => return Err(format!("unknown fault plan field `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
 }
 
 /// Truncates a file to half its length — a torn-write simulation for
@@ -100,6 +271,10 @@ mod tests {
     fn empty_plan_injects_nothing() {
         let mut plan = FaultPlan::none();
         assert!(!plan.should_kill(0, 0));
+        assert_eq!(plan.latency_multiplier(), 1);
+        assert!(!plan.queue_saturated());
+        assert!(!plan.take_cache_poison(0));
+        assert!(!plan.should_kill_after_record(0));
         let gcn = gcnt_core::Gcn::new(
             &gcnt_core::GcnConfig {
                 embed_dims: vec![2],
@@ -136,5 +311,50 @@ mod tests {
         let mut grads2 = gcn.zero_grads();
         plan.corrupt_grads(2, &mut grads2);
         assert!(grads2.is_finite(), "fault is one-shot");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn serving_faults_fire_deterministically() {
+        let mut plan = FaultPlan::none()
+            .with_latency_multiplier(10)
+            .with_queue_saturation()
+            .with_cache_poison(2)
+            .with_kill_after_record(4);
+        assert_eq!(plan.latency_multiplier(), 10);
+        assert!(plan.queue_saturated());
+        assert!(!plan.take_cache_poison(1));
+        assert!(plan.take_cache_poison(2));
+        assert!(!plan.take_cache_poison(2), "cache poison is one-shot");
+        assert!(plan.should_kill_after_record(4));
+        assert!(!plan.should_kill_after_record(3));
+        // A zero multiplier clamps to the no-fault value.
+        assert_eq!(
+            FaultPlan::none()
+                .with_latency_multiplier(0)
+                .latency_multiplier(),
+            1
+        );
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn plan_parses_from_json() {
+        let plan = FaultPlan::from_json(
+            r#"{"latency_multiplier": 10, "queue_saturation": true,
+                "cache_poison_request": 3, "kill_after_record": 1,
+                "nan_grad_epoch": 2, "kill_worker": [1, 0]}"#,
+        )
+        .unwrap();
+        assert_eq!(plan.latency_multiplier(), 10);
+        assert!(plan.queue_saturated());
+        assert!(plan.should_kill_after_record(1));
+        assert!(plan.should_kill(1, 0));
+
+        assert_eq!(FaultPlan::from_json("{}").unwrap().latency_multiplier(), 1);
+        assert!(FaultPlan::from_json(r#"{"typo_field": 1}"#).is_err());
+        assert!(FaultPlan::from_json(r#"{"latency_multiplier": -4}"#).is_err());
+        assert!(FaultPlan::from_json(r#"{"kill_worker": [1]}"#).is_err());
+        assert!(FaultPlan::from_json("[]").is_err());
     }
 }

@@ -1,0 +1,322 @@
+//! Retry with exponential backoff and a deterministic circuit breaker,
+//! guarding model/design (re)loading.
+//!
+//! The two compose: [`RetryPolicy`] absorbs *transient* faults (a file
+//! mid-rename, a flaky mount) by retrying one load a few times with
+//! exponentially growing pauses; [`CircuitBreaker`] absorbs *persistent*
+//! faults (a deleted model, a corrupt design) by failing fast once several
+//! consecutive loads-with-retries have failed, so a hot request path stops
+//! hammering a dead resource. The breaker is count-based rather than
+//! clock-based — it half-opens after a fixed number of rejected calls —
+//! which keeps every test of it deterministic.
+
+use crate::error::ServeError;
+
+/// Retry policy: how often to re-attempt a failing load, and the base
+/// pause that doubles between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Pause before the second attempt, in milliseconds; doubles each
+    /// further attempt. `0` disables sleeping (used by tests).
+    pub base_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 20,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Runs `op` until it succeeds or the attempts are exhausted, pausing
+    /// `base_delay_ms * 2^i` between attempts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] carrying the final attempt's error.
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T, String>) -> Result<T, ServeError> {
+        let attempts = self.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 && self.base_delay_ms > 0 {
+                let pause = self
+                    .base_delay_ms
+                    .saturating_mul(1 << (attempt - 1).min(16));
+                std::thread::sleep(std::time::Duration::from_millis(pause));
+            }
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => last = e,
+            }
+        }
+        Err(ServeError::Load(last))
+    }
+}
+
+/// Circuit breaker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Calls rejected while open before one probe call is admitted
+    /// (half-open).
+    pub cooldown_calls: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_calls: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Normal operation; counts consecutive failures.
+    Closed { failures: u32 },
+    /// Failing fast; counts rejected calls toward the cooldown.
+    Open { rejected: u32 },
+    /// One probe call is in flight; its result decides open vs. closed.
+    HalfOpen,
+}
+
+/// A deterministic, count-based circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds (clamped to at least 1).
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg: BreakerConfig {
+                failure_threshold: cfg.failure_threshold.max(1),
+                cooldown_calls: cfg.cooldown_calls.max(1),
+            },
+            state: BreakerState::Closed { failures: 0 },
+        }
+    }
+
+    /// Whether the breaker is currently failing fast.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// Asks to perform a guarded call. `Ok(())` admits the call — the
+    /// caller must then report [`CircuitBreaker::on_success`] or
+    /// [`CircuitBreaker::on_failure`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BreakerOpen`] while the breaker is open; after
+    /// `cooldown_calls` rejections the next request is admitted as the
+    /// half-open probe.
+    pub fn admit(&mut self) -> Result<(), ServeError> {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open { rejected } => {
+                if rejected + 1 >= self.cfg.cooldown_calls {
+                    self.state = BreakerState::HalfOpen;
+                    return Err(ServeError::BreakerOpen {
+                        probes_until_half_open: 0,
+                    });
+                }
+                self.state = BreakerState::Open {
+                    rejected: rejected + 1,
+                };
+                Err(ServeError::BreakerOpen {
+                    probes_until_half_open: self.cfg.cooldown_calls - rejected - 1,
+                })
+            }
+        }
+    }
+
+    /// Reports that an admitted call succeeded; closes the breaker.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed { failures: 0 };
+    }
+
+    /// Reports that an admitted call failed. A half-open probe failure
+    /// re-opens immediately; in the closed state the breaker opens once
+    /// `failure_threshold` consecutive failures accumulate.
+    pub fn on_failure(&mut self) {
+        self.state = match self.state {
+            BreakerState::Closed { failures } if failures + 1 < self.cfg.failure_threshold => {
+                BreakerState::Closed {
+                    failures: failures + 1,
+                }
+            }
+            _ => BreakerState::Open { rejected: 0 },
+        };
+    }
+
+    /// Runs `op` under the breaker *and* the retry policy: an open breaker
+    /// fails fast, otherwise `op` runs with retries and its final result
+    /// is reported back to the breaker.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BreakerOpen`] when failing fast, otherwise whatever
+    /// [`RetryPolicy::run`] returns.
+    pub fn call<T>(
+        &mut self,
+        retry: &RetryPolicy,
+        op: impl FnMut() -> Result<T, String>,
+    ) -> Result<T, ServeError> {
+        self.admit()?;
+        match retry.run(op) {
+            Ok(v) => {
+                self.on_success();
+                Ok(v)
+            }
+            Err(e) => {
+                self.on_failure();
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_sleep() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 0,
+        }
+    }
+
+    #[test]
+    fn retry_returns_first_success() {
+        let mut calls = 0;
+        let out = no_sleep().run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(format!("transient {calls}"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_last_error() {
+        let mut calls = 0;
+        let err = no_sleep()
+            .run::<()>(|| {
+                calls += 1;
+                Err(format!("boom {calls}"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 3);
+        assert!(matches!(err, ServeError::Load(msg) if msg == "boom 3"));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_half_opens_after_cooldown() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_calls: 2,
+        });
+        // Two consecutive failures trip it open.
+        b.admit().unwrap();
+        b.on_failure();
+        assert!(!b.is_open());
+        b.admit().unwrap();
+        b.on_failure();
+        assert!(b.is_open());
+        // Open: reject `cooldown_calls` requests, then admit a probe.
+        assert!(matches!(
+            b.admit(),
+            Err(ServeError::BreakerOpen {
+                probes_until_half_open: 1
+            })
+        ));
+        assert!(matches!(
+            b.admit(),
+            Err(ServeError::BreakerOpen {
+                probes_until_half_open: 0
+            })
+        ));
+        b.admit().unwrap(); // the half-open probe
+        b.on_success();
+        assert!(!b.is_open());
+        b.admit().unwrap();
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_calls: 1,
+        });
+        b.admit().unwrap();
+        b.on_failure();
+        assert!(b.is_open());
+        assert!(b.admit().is_err()); // rejection satisfies the cooldown
+        b.admit().unwrap(); // probe
+        b.on_failure();
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn call_composes_breaker_and_retry() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_calls: 1,
+        });
+        let retry = no_sleep();
+        // 3 retry attempts inside one guarded call, then the breaker opens.
+        let mut calls = 0;
+        assert!(b
+            .call::<()>(&retry, || {
+                calls += 1;
+                Err("gone".to_string())
+            })
+            .is_err());
+        assert_eq!(calls, 3);
+        assert!(b.is_open());
+        // Failing fast does not touch the operation.
+        assert!(matches!(
+            b.call::<()>(&retry, || panic!("must not run")),
+            Err(ServeError::BreakerOpen { .. })
+        ));
+        // The probe succeeds and the breaker closes again.
+        assert_eq!(b.call(&retry, || Ok(7)).unwrap(), 7);
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_calls: 1,
+        });
+        b.admit().unwrap();
+        b.on_failure();
+        b.admit().unwrap();
+        b.on_success();
+        b.admit().unwrap();
+        b.on_failure();
+        assert!(!b.is_open(), "streak must reset after a success");
+    }
+}

@@ -1,0 +1,105 @@
+//! Typed errors of the serving layer.
+
+use std::fmt;
+
+use gcnt_dft::flow::FlowError;
+use gcnt_tensor::TensorError;
+
+/// Errors produced by the inference/flow service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control rejected the request: the bounded queue is full
+    /// (or fault injection saturated it). The caller should back off and
+    /// resubmit; nothing was enqueued and no work was started.
+    Overloaded {
+        /// The queue's capacity at rejection time.
+        capacity: usize,
+    },
+    /// The circuit breaker around model/design (re)loading is open:
+    /// recent loads failed repeatedly, so further attempts are rejected
+    /// without touching the failing resource until the cooldown elapses.
+    BreakerOpen {
+        /// Rejections remaining before the breaker half-opens and admits
+        /// a probe load.
+        probes_until_half_open: u32,
+    },
+    /// A model or design load failed even after the retry policy was
+    /// exhausted; the message is the last attempt's error.
+    Load(String),
+    /// The write-ahead journal could not be read, verified, or appended
+    /// to.
+    Journal(String),
+    /// A journaled flow job failed. Batches the journal captured before
+    /// the failure stay committed; a rerun resumes from them.
+    Flow(FlowError),
+    /// An inference request failed on the final (unbudgeted) ladder rung —
+    /// a real model/graph error, not deadline pressure.
+    Tensor(TensorError),
+    /// The worker thread behind a [`crate::ServeHandle`] is gone; the
+    /// request's reply will never arrive.
+    WorkerGone,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "service overloaded: request queue at capacity {capacity}")
+            }
+            ServeError::BreakerOpen {
+                probes_until_half_open,
+            } => write!(
+                f,
+                "circuit breaker open: {probes_until_half_open} rejection(s) until a probe is admitted"
+            ),
+            ServeError::Load(e) => write!(f, "load failed after retries: {e}"),
+            ServeError::Journal(e) => write!(f, "journal error: {e}"),
+            ServeError::Flow(e) => write!(f, "flow job failed: {e}"),
+            ServeError::Tensor(e) => write!(f, "inference failed: {e}"),
+            ServeError::WorkerGone => write!(f, "serve worker thread is gone"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Flow(e) => Some(e),
+            ServeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<FlowError> for ServeError {
+    fn from(e: FlowError) -> Self {
+        ServeError::Flow(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for ServeError {
+    fn from(e: TensorError) -> Self {
+        ServeError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServeError::Overloaded { capacity: 4 }
+            .to_string()
+            .contains("capacity 4"));
+        assert!(ServeError::BreakerOpen {
+            probes_until_half_open: 2
+        }
+        .to_string()
+        .contains("2 rejection(s)"));
+        let e = ServeError::Tensor(TensorError::Cancelled);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

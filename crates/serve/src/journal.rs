@@ -1,0 +1,421 @@
+//! Write-ahead journal for long-running flow jobs.
+//!
+//! # Format (version 1)
+//!
+//! A journal is a plain-text, append-only file of JSON lines:
+//!
+//! ```text
+//! {"version":1,"design":"...","design_checksum":"<16 hex>","flow_checksum":"<16 hex>"}
+//! {"seq":0,"checksum":"<16 hex>","payload":{<BatchRecord>}}
+//! {"seq":1,"checksum":"<16 hex>","payload":{<BatchRecord>}}
+//! ...
+//! ```
+//!
+//! The first line is the header: the format version plus fingerprints of
+//! the *original* design and the flow configuration, so a journal can
+//! never be replayed against the wrong job. Every further line is one
+//! committed [`BatchRecord`] with its sequence number and an FNV-1a
+//! checksum of the payload JSON. Records are appended with `fsync` per
+//! record — a record on disk is a promise that the batch it describes is
+//! committed and consistent.
+//!
+//! # Recovery
+//!
+//! [`FlowJournal::open`] recovers a journal left behind by a killed
+//! process. The reader is *torn-tail tolerant*: a final line that does not
+//! parse — or parses but fails its checksum — is the half-written record
+//! of the fatal moment, and is discarded (the file is atomically rewritten
+//! without it, via the same temp + fsync + rename discipline as
+//! `runtime::checkpoint`). Any damage *before* the tail is real corruption
+//! and refuses recovery: the recovered record stream is validated with
+//! [`gcnt_lint::lint_journal_records`] (`JN001` checksum integrity,
+//! `JN002` sequence continuity) before a single batch is replayed.
+//!
+//! # Versioning
+//!
+//! [`JOURNAL_VERSION`] is bumped on any breaking change to the line
+//! format; a reader refuses versions it does not know rather than guess.
+//! Version 1 is the initial format described above.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use gcnt_dft::flow::{BatchRecord, FlowConfig};
+use gcnt_lint::{lint_journal_records, JournalRecordMeta};
+use gcnt_netlist::{format, Netlist};
+use gcnt_runtime::{atomic_write, fnv1a64};
+
+use crate::error::ServeError;
+
+/// Version of the journal line format this build reads and writes.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// The journal's first line: format version plus job identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Format version; see [`JOURNAL_VERSION`].
+    pub version: u32,
+    /// Name of the design the job runs on.
+    pub design: String,
+    /// FNV-1a checksum (hex) of the original design's text form.
+    pub design_checksum: String,
+    /// FNV-1a checksum (hex) of the flow configuration JSON.
+    pub flow_checksum: String,
+}
+
+impl JournalHeader {
+    /// Fingerprints a job: the *original* (pre-flow) design plus its flow
+    /// configuration.
+    pub fn describe(net: &Netlist, cfg: &FlowConfig) -> Self {
+        let cfg_json = serde_json::to_string(cfg).expect("flow config serialization is infallible");
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            design: net.name().to_string(),
+            design_checksum: checksum_hex(format::write(net).as_bytes()),
+            flow_checksum: checksum_hex(cfg_json.as_bytes()),
+        }
+    }
+}
+
+/// One journal line after the header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct RecordLine {
+    seq: u64,
+    checksum: String,
+    payload: BatchRecord,
+}
+
+fn checksum_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+fn payload_checksum(rec: &BatchRecord) -> String {
+    let json = serde_json::to_string(rec).expect("record serialization is infallible");
+    checksum_hex(json.as_bytes())
+}
+
+/// An open, append-ready write-ahead journal.
+#[derive(Debug)]
+pub struct FlowJournal {
+    file: fs::File,
+    path: PathBuf,
+    next_seq: u64,
+}
+
+/// The result of opening a journal: the append handle plus whatever a
+/// previous (possibly killed) run left in it.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The journal, positioned to append the next record.
+    pub journal: FlowJournal,
+    /// Verified records of the previous run, in sequence order; empty for
+    /// a fresh journal.
+    pub records: Vec<BatchRecord>,
+    /// Whether a torn (half-written) final line was discarded.
+    pub dropped_torn_tail: bool,
+}
+
+impl FlowJournal {
+    /// Opens (or creates) the journal at `path` for the job described by
+    /// `header`, recovering and verifying any records a previous run
+    /// journaled.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Journal`] if the file cannot be read or written, the
+    /// header names a different job or an unsupported version, or the
+    /// record stream fails `JN001`/`JN002` validation.
+    pub fn open(path: &Path, header: &JournalHeader) -> Result<Recovered, ServeError> {
+        let io = |e: std::io::Error| ServeError::Journal(format!("{}: {e}", path.display()));
+        let (records, dropped_torn_tail) = if path.exists() {
+            let text = fs::read_to_string(path).map_err(io)?;
+            let (records, torn) = Self::recover(path, header, &text)?;
+            if torn {
+                // Rewrite without the torn line so the file is clean JSON
+                // lines again before anything is appended after it.
+                let mut clean =
+                    serde_json::to_string(header).expect("header serialization is infallible");
+                clean.push('\n');
+                for (seq, rec) in records.iter().enumerate() {
+                    clean.push_str(&record_line(seq as u64, rec));
+                }
+                atomic_write(path, clean.as_bytes())
+                    .map_err(|e| ServeError::Journal(e.to_string()))?;
+            }
+            (records, torn)
+        } else {
+            let mut first =
+                serde_json::to_string(header).expect("header serialization is infallible");
+            first.push('\n');
+            atomic_write(path, first.as_bytes()).map_err(|e| ServeError::Journal(e.to_string()))?;
+            (Vec::new(), false)
+        };
+        let file = fs::OpenOptions::new().append(true).open(path).map_err(io)?;
+        Ok(Recovered {
+            journal: FlowJournal {
+                file,
+                path: path.to_path_buf(),
+                next_seq: records.len() as u64,
+            },
+            records,
+            dropped_torn_tail,
+        })
+    }
+
+    /// Parses and verifies a journal's text, tolerating a torn tail.
+    fn recover(
+        path: &Path,
+        header: &JournalHeader,
+        text: &str,
+    ) -> Result<(Vec<BatchRecord>, bool), ServeError> {
+        let bad = |what: String| ServeError::Journal(format!("{}: {what}", path.display()));
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let first = lines
+            .next()
+            .ok_or_else(|| bad("empty journal file (missing header)".to_string()))?;
+        let stored: JournalHeader = serde_json::from_str(first)
+            .map_err(|e| bad(format!("unreadable journal header: {e}")))?;
+        if stored.version != JOURNAL_VERSION {
+            return Err(bad(format!(
+                "journal format version {} is not supported (this build reads version {JOURNAL_VERSION})",
+                stored.version
+            )));
+        }
+        if stored != *header {
+            return Err(bad(format!(
+                "journal belongs to a different job (design `{}`, checksums {}/{})",
+                stored.design, stored.design_checksum, stored.flow_checksum
+            )));
+        }
+
+        let lines: Vec<&str> = lines.collect();
+        let mut parsed: Vec<RecordLine> = Vec::with_capacity(lines.len());
+        let mut torn = false;
+        for (i, line) in lines.iter().enumerate() {
+            match serde_json::from_str::<RecordLine>(line) {
+                Ok(rec) => parsed.push(rec),
+                // Only the final line may be torn; earlier damage is real.
+                Err(e) if i + 1 == lines.len() => {
+                    let _ = e;
+                    torn = true;
+                }
+                Err(e) => return Err(bad(format!("unreadable record at line {}: {e}", i + 2))),
+            }
+        }
+        // A complete-looking final line whose checksum fails is the same
+        // fatal moment: the write was cut inside the payload.
+        if !torn {
+            if let Some(last) = parsed.last() {
+                if payload_checksum(&last.payload) != last.checksum {
+                    parsed.pop();
+                    torn = true;
+                }
+            }
+        }
+
+        let metas: Vec<JournalRecordMeta> = parsed
+            .iter()
+            .map(|r| JournalRecordMeta {
+                seq: r.seq,
+                stored_checksum: r.checksum.clone(),
+                computed_checksum: payload_checksum(&r.payload),
+            })
+            .collect();
+        let report = lint_journal_records(&path.display().to_string(), &metas);
+        if report.has_errors() {
+            return Err(bad(format!("journal failed validation:\n{report}")));
+        }
+        Ok((parsed.into_iter().map(|r| r.payload).collect(), torn))
+    }
+
+    /// Appends one committed batch and fsyncs it to disk; returns the
+    /// record's sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Journal`] if the write or sync fails; the flow must
+    /// then stop, because further batches would outrun the journal.
+    pub fn append(&mut self, rec: &BatchRecord) -> Result<u64, ServeError> {
+        let io = |e: std::io::Error| ServeError::Journal(format!("{}: {e}", self.path.display()));
+        let seq = self.next_seq;
+        self.file
+            .write_all(record_line(seq, rec).as_bytes())
+            .map_err(io)?;
+        self.file.sync_all().map_err(io)?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Sequence number the next appended record will get (= records on
+    /// disk).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn record_line(seq: u64, rec: &BatchRecord) -> String {
+    let mut line = serde_json::to_string(&RecordLine {
+        seq,
+        checksum: payload_checksum(rec),
+        payload: rec.clone(),
+    })
+    .expect("record serialization is infallible");
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnt_dft::flow::InferenceStats;
+    use gcnt_netlist::{generate, GeneratorConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gcnt-serve-journal-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("job.wal")
+    }
+
+    fn fixture() -> (Netlist, FlowConfig, JournalHeader) {
+        let net = generate(&GeneratorConfig::sized("journal", 3, 120));
+        let cfg = FlowConfig::default();
+        let header = JournalHeader::describe(&net, &cfg);
+        (net, cfg, header)
+    }
+
+    fn record(iteration: usize) -> BatchRecord {
+        BatchRecord {
+            iteration,
+            positives: 5 - iteration,
+            inserted: vec![],
+            skipped: vec![],
+            converged: false,
+            stats_after: InferenceStats {
+                rows_computed: 10 * iteration as u64,
+                rows_full: 20 * iteration as u64,
+                inferences: iteration as u64,
+            },
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_across_reopen() {
+        let path = temp_journal("roundtrip");
+        let (_, _, header) = fixture();
+        let mut rec = FlowJournal::open(&path, &header).unwrap();
+        assert!(rec.records.is_empty());
+        for i in 0..3 {
+            assert_eq!(rec.journal.append(&record(i)).unwrap(), i as u64);
+        }
+        drop(rec);
+
+        let again = FlowJournal::open(&path, &header).unwrap();
+        assert_eq!(again.records.len(), 3);
+        assert_eq!(again.records[2], record(2));
+        assert!(!again.dropped_torn_tail);
+        assert_eq!(again.journal.next_seq(), 3);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_the_file_healed() {
+        let path = temp_journal("torn");
+        let (_, _, header) = fixture();
+        let mut rec = FlowJournal::open(&path, &header).unwrap();
+        rec.journal.append(&record(0)).unwrap();
+        rec.journal.append(&record(1)).unwrap();
+        drop(rec);
+        // Simulate a kill mid-write: a half-finished final line.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"seq\":2,\"checksum\":\"dead");
+        fs::write(&path, &text).unwrap();
+
+        let healed = FlowJournal::open(&path, &header).unwrap();
+        assert!(healed.dropped_torn_tail);
+        assert_eq!(healed.records.len(), 2);
+        // The torn line is gone from disk; appending continues at seq 2.
+        assert_eq!(healed.journal.next_seq(), 2);
+        drop(healed);
+        let clean = FlowJournal::open(&path, &header).unwrap();
+        assert!(!clean.dropped_torn_tail);
+        assert_eq!(clean.records.len(), 2);
+    }
+
+    #[test]
+    fn mid_stream_corruption_refuses_recovery() {
+        let path = temp_journal("corrupt");
+        let (_, _, header) = fixture();
+        let mut rec = FlowJournal::open(&path, &header).unwrap();
+        for i in 0..3 {
+            rec.journal.append(&record(i)).unwrap();
+        }
+        drop(rec);
+        // Flip the middle record's payload: its checksum no longer holds.
+        let text = fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("\"positives\":4", "\"positives\":9", 1);
+        assert_ne!(text, tampered, "test must actually tamper");
+        fs::write(&path, tampered).unwrap();
+
+        let err = FlowJournal::open(&path, &header).unwrap_err();
+        assert!(err.to_string().contains("JN001"), "{err}");
+    }
+
+    #[test]
+    fn sequence_gap_refuses_recovery() {
+        let path = temp_journal("gap");
+        let (_, _, header) = fixture();
+        let mut rec = FlowJournal::open(&path, &header).unwrap();
+        for i in 0..3 {
+            rec.journal.append(&record(i)).unwrap();
+        }
+        drop(rec);
+        // Drop the middle line: seqs 0, 2 — a lost record.
+        let text = fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text
+            .lines()
+            .enumerate()
+            .filter(|&(i, _)| i != 2)
+            .map(|(_, l)| l)
+            .collect();
+        fs::write(&path, kept.join("\n") + "\n").unwrap();
+
+        let err = FlowJournal::open(&path, &header).unwrap_err();
+        assert!(err.to_string().contains("JN002"), "{err}");
+    }
+
+    #[test]
+    fn wrong_job_or_version_is_rejected() {
+        let path = temp_journal("identity");
+        let (net, cfg, header) = fixture();
+        FlowJournal::open(&path, &header).unwrap();
+
+        let other = generate(&GeneratorConfig::sized("other", 4, 100));
+        let other_header = JournalHeader::describe(&other, &cfg);
+        let err = FlowJournal::open(&path, &other_header).unwrap_err();
+        assert!(err.to_string().contains("different job"), "{err}");
+
+        let future = JournalHeader {
+            version: JOURNAL_VERSION + 1,
+            ..JournalHeader::describe(&net, &cfg)
+        };
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[0] = serde_json::to_string(&future).unwrap();
+        fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = FlowJournal::open(&path, &header).unwrap_err();
+        assert!(err.to_string().contains("not supported"), "{err}");
+    }
+}

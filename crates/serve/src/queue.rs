@@ -1,0 +1,171 @@
+//! A bounded multi-producer request queue with non-blocking admission.
+//!
+//! Admission control is the service's memory-safety valve: a producer that
+//! cannot enqueue gets [`ServeError::Overloaded`] *immediately* instead of
+//! blocking or growing an unbounded backlog, so a request storm cannot OOM
+//! the process. The consumer side blocks — the single worker drains the
+//! queue at its own pace.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::error::ServeError;
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+/// A bounded FIFO queue shared between request producers and the worker.
+pub struct BoundedQueue<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        BoundedQueue {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` pending items
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
+                ready: Condvar::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Pending items right now.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking. A full or closed queue rejects with
+    /// [`ServeError::Overloaded`] / [`ServeError::WorkerGone`] and hands
+    /// the item back untouched.
+    ///
+    /// # Errors
+    ///
+    /// See above; the item rides along so the caller can reply to it.
+    pub fn try_push(&self, item: T) -> Result<(), (T, ServeError)> {
+        let mut state = self.shared.state.lock().expect("queue lock");
+        if state.closed {
+            return Err((item, ServeError::WorkerGone));
+        }
+        if state.items.len() >= self.shared.capacity {
+            return Err((
+                item,
+                ServeError::Overloaded {
+                    capacity: self.shared.capacity,
+                },
+            ));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means no item will ever come again.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.shared.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and consumers drain what is
+    /// left before seeing `None`.
+    pub fn close(&self) {
+        self.shared.state.lock().expect("queue lock").closed = true;
+        self.shared.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (item, err) = q.try_push(3).unwrap_err();
+        assert_eq!(item, 3);
+        assert!(matches!(err, ServeError::Overloaded { capacity: 2 }));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_drains_in_fifo_order_and_frees_capacity() {
+        let q = BoundedQueue::new(1);
+        q.try_push(10).unwrap();
+        assert_eq!(q.pop(), Some(10));
+        q.try_push(11).unwrap();
+        assert_eq!(q.pop(), Some(11));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(matches!(
+            q.try_push(2).unwrap_err().1,
+            ServeError::WorkerGone
+        ));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn consumer_blocks_until_producer_arrives() {
+        let q = BoundedQueue::new(1);
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.pop());
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(q.try_push(2).is_err());
+    }
+}

@@ -1,0 +1,777 @@
+//! The service itself: a synchronous [`ServeCore`] that answers one
+//! request at a time, and a worker-thread [`ServeHandle`] that puts a
+//! bounded queue with admission control in front of it.
+//!
+//! The split keeps every robustness mechanism testable without threads:
+//! the core owns deadlines (as [`Budget`] caps), the degradation ladder,
+//! the write-ahead journal of flow jobs, and the retry/breaker guard
+//! around model reloading; the handle owns only admission and dispatch.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
+
+use gcnt_core::{features::FeatureNormalizer, GraphData, MultiStageGcn};
+use gcnt_dft::flow::{run_gcn_opi_resumable, FlowConfig, FlowError, FlowOutcome};
+use gcnt_netlist::Netlist;
+use gcnt_runtime::FaultPlan;
+use gcnt_tensor::Budget;
+
+use crate::breaker::{BreakerConfig, CircuitBreaker, RetryPolicy};
+use crate::error::ServeError;
+use crate::journal::{FlowJournal, JournalHeader};
+use crate::ladder::{classify_with_ladder, LadderResult, Rung, RungDrop};
+use crate::queue::BoundedQueue;
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Pending requests the bounded queue holds before admission control
+    /// rejects with [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not bring their own, in
+    /// embedding-row units; `None` = unlimited.
+    pub default_deadline: Option<u64>,
+    /// Probability at or above which a node counts as a positive in
+    /// [`InferResponse::positives`].
+    pub prob_threshold: f32,
+    /// Retry policy for model/design (re)loading.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds for model/design (re)loading.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 8,
+            default_deadline: None,
+            prob_threshold: 0.5,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Answer to an inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// Positive-class probability per node.
+    pub probs: Vec<f32>,
+    /// Nodes at or above [`ServeConfig::prob_threshold`].
+    pub positives: usize,
+    /// The degradation-ladder rung that produced the answer.
+    pub rung: Rung,
+    /// Rungs abandoned under deadline pressure or cache faults, top-down.
+    pub dropped: Vec<RungDrop>,
+    /// Embedding-row units of work spent (after any injected latency
+    /// multiplier).
+    pub spent: u64,
+    /// This request's admission index (0-based, per core).
+    pub admission_index: u64,
+}
+
+/// Answer to a journaled flow job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowResponse {
+    /// The flow's outcome — bit-identical whether or not the job was
+    /// resumed from a journal.
+    pub outcome: FlowOutcome,
+    /// Batches replayed from the journal before new work started.
+    pub resumed_batches: usize,
+    /// Records in the journal when the job finished.
+    pub journal_records: u64,
+    /// Whether recovery discarded a torn (half-written) final record.
+    pub recovered_torn_tail: bool,
+}
+
+/// The synchronous serving core: model, normaliser, fault plan, and the
+/// robustness machinery around them.
+pub struct ServeCore {
+    model: MultiStageGcn,
+    normalizer: FeatureNormalizer,
+    config: ServeConfig,
+    plan: FaultPlan,
+    breaker: CircuitBreaker,
+    admitted: u64,
+}
+
+impl ServeCore {
+    /// A core around an already-loaded model.
+    pub fn new(normalizer: FeatureNormalizer, model: MultiStageGcn, config: ServeConfig) -> Self {
+        ServeCore {
+            model,
+            normalizer,
+            breaker: CircuitBreaker::new(config.breaker),
+            config,
+            plan: FaultPlan::none(),
+            admitted: 0,
+        }
+    }
+
+    /// A core whose initial model load runs under the retry policy (a
+    /// fresh breaker cannot be open yet).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] if the loader still fails after retries.
+    pub fn load(
+        config: ServeConfig,
+        loader: impl FnMut() -> Result<(FeatureNormalizer, MultiStageGcn), String>,
+    ) -> Result<Self, ServeError> {
+        let (normalizer, model) = config.retry.run(loader)?;
+        Ok(ServeCore::new(normalizer, model, config))
+    }
+
+    /// Attaches a fault plan (deterministic injection; a no-op plan
+    /// without the `fault-inject` feature).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The model currently served.
+    pub fn model(&self) -> &MultiStageGcn {
+        &self.model
+    }
+
+    /// Requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Whether the fault plan saturates admission control.
+    pub(crate) fn queue_saturated(&self) -> bool {
+        self.plan.queue_saturated()
+    }
+
+    /// Swaps in a new model/normaliser pair through the retry policy and
+    /// the circuit breaker: repeated failing reloads trip the breaker, and
+    /// further attempts fail fast with [`ServeError::BreakerOpen`] until
+    /// the cooldown admits a probe. The served model is untouched on
+    /// failure.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BreakerOpen`] while failing fast, otherwise
+    /// [`ServeError::Load`] after exhausted retries.
+    pub fn reload_model(
+        &mut self,
+        loader: impl FnMut() -> Result<(FeatureNormalizer, MultiStageGcn), String>,
+    ) -> Result<(), ServeError> {
+        let retry = self.config.retry;
+        let (normalizer, model) = self.breaker.call(&retry, loader)?;
+        self.normalizer = normalizer;
+        self.model = model;
+        Ok(())
+    }
+
+    /// The work budget for one request: the caller's deadline (or the
+    /// configured default), with any injected latency multiplier applied
+    /// so a "10× slower machine" fault consumes deadlines 10× faster.
+    fn budget_for(&self, deadline: Option<u64>) -> Budget {
+        let budget = match deadline.or(self.config.default_deadline) {
+            Some(cap) => Budget::with_cap(cap),
+            None => Budget::unlimited(),
+        };
+        budget.with_cost_multiplier(self.plan.latency_multiplier())
+    }
+
+    /// Answers one inference request through the degradation ladder.
+    /// Every admitted request completes on *some* rung — deadline pressure
+    /// degrades quality, never availability.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] if the design cannot be featurised,
+    /// [`ServeError::Tensor`] on a real model/graph error.
+    pub fn handle_infer(
+        &mut self,
+        net: &Netlist,
+        deadline: Option<u64>,
+    ) -> Result<InferResponse, ServeError> {
+        let admission_index = self.admitted;
+        self.admitted += 1;
+        let data = GraphData::from_netlist(net, Some(&self.normalizer))
+            .map_err(|e| ServeError::Load(format!("design `{}`: {e}", net.name())))?;
+        let budget = self.budget_for(deadline);
+        let poisoned = self.plan.take_cache_poison(admission_index);
+        let LadderResult {
+            probs,
+            rung,
+            dropped,
+        } = classify_with_ladder(
+            &self.model,
+            &data.tensors,
+            &data.features,
+            &budget,
+            poisoned,
+        )?;
+        let threshold = self.config.prob_threshold;
+        let positives = probs.iter().filter(|&&p| p >= threshold).count();
+        Ok(InferResponse {
+            probs,
+            positives,
+            rung,
+            dropped,
+            spent: budget.spent(),
+            admission_index,
+        })
+    }
+
+    /// Runs (or resumes) a journaled flow job. `net` must be the
+    /// **original** pre-flow design: on resume, the journal's committed
+    /// batches are replayed against it before new work starts, and the
+    /// final [`FlowOutcome`] is bit-identical to an uninterrupted run.
+    ///
+    /// Every committed batch is fsynced to the journal *before* the next
+    /// one may start; with an injected kill-after-record fault the process
+    /// aborts right after the planned record reaches disk.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Journal`] if the journal cannot be recovered or
+    /// appended, [`ServeError::Flow`] if the flow itself fails — committed
+    /// batches stay journaled either way, so a rerun resumes.
+    pub fn run_flow_job(
+        &mut self,
+        net: &mut Netlist,
+        cfg: &FlowConfig,
+        journal_path: &Path,
+        deadline: Option<u64>,
+    ) -> Result<FlowResponse, ServeError> {
+        let header = JournalHeader::describe(net, cfg);
+        let recovered = FlowJournal::open(journal_path, &header)?;
+        let mut journal = recovered.journal;
+        let resumed_batches = recovered.records.len();
+        let budget = self.budget_for(deadline);
+        let plan = &self.plan;
+        let mut observer = |rec: &gcnt_dft::flow::BatchRecord| -> Result<(), FlowError> {
+            let seq = journal
+                .append(rec)
+                .map_err(|e| FlowError::Journal(e.to_string()))?;
+            if plan.should_kill_after_record(seq) {
+                // The deterministic `kill -9`: the record is on disk, the
+                // next batch never starts.
+                std::process::abort();
+            }
+            Ok(())
+        };
+        let outcome = run_gcn_opi_resumable(
+            net,
+            &self.normalizer,
+            &self.model,
+            cfg,
+            &budget,
+            &recovered.records,
+            &mut observer,
+        )
+        .map_err(ServeError::Flow)?;
+        Ok(FlowResponse {
+            outcome,
+            resumed_batches,
+            journal_records: journal.next_seq(),
+            recovered_torn_tail: recovered.dropped_torn_tail,
+        })
+    }
+}
+
+/// A job travelling through the bounded queue.
+enum Job {
+    Infer {
+        net: Netlist,
+        deadline: Option<u64>,
+        reply: mpsc::Sender<Result<InferResponse, ServeError>>,
+    },
+    Flow {
+        net: Netlist,
+        cfg: FlowConfig,
+        journal: PathBuf,
+        deadline: Option<u64>,
+        reply: mpsc::Sender<Result<FlowJobResult, ServeError>>,
+    },
+    /// Test hook: park the worker until the sender is dropped, so tests
+    /// can fill the queue deterministically.
+    #[cfg(test)]
+    Barrier(mpsc::Receiver<()>),
+}
+
+impl fmt::Debug for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Job::Infer { .. } => "Job::Infer",
+            Job::Flow { .. } => "Job::Flow",
+            #[cfg(test)]
+            Job::Barrier(_) => "Job::Barrier",
+        })
+    }
+}
+
+/// A completed flow job: the modified design plus the flow's response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowJobResult {
+    /// The design after insertion.
+    pub net: Netlist,
+    /// Outcome and journal accounting.
+    pub response: FlowResponse,
+}
+
+/// A pending reply; [`Ticket::wait`] blocks until the worker answers.
+pub struct Ticket<T> {
+    rx: mpsc::Receiver<Result<T, ServeError>>,
+}
+
+impl<T> fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Ticket(..)")
+    }
+}
+
+impl<T> Ticket<T> {
+    /// Blocks for the worker's answer.
+    ///
+    /// # Errors
+    ///
+    /// The worker's error, or [`ServeError::WorkerGone`] if it died.
+    pub fn wait(self) -> Result<T, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::WorkerGone)?
+    }
+}
+
+/// The in-process service front end: a bounded queue feeding one worker
+/// thread that owns the [`ServeCore`]. Submission never blocks — a full
+/// queue rejects immediately with [`ServeError::Overloaded`], which is
+/// what keeps a request storm from growing an unbounded backlog.
+pub struct ServeHandle {
+    queue: BoundedQueue<Job>,
+    worker: Option<thread::JoinHandle<ServeCore>>,
+    saturated: bool,
+}
+
+impl ServeHandle {
+    /// Starts the worker thread around `core`.
+    pub fn start(core: ServeCore) -> Self {
+        let saturated = core.queue_saturated();
+        let queue = BoundedQueue::new(core.config.queue_capacity);
+        let jobs = queue.clone();
+        let worker = thread::Builder::new()
+            .name("gcnt-serve-worker".to_string())
+            .spawn(move || {
+                let mut core = core;
+                while let Some(job) = jobs.pop() {
+                    match job {
+                        Job::Infer {
+                            net,
+                            deadline,
+                            reply,
+                        } => {
+                            let _ = reply.send(core.handle_infer(&net, deadline));
+                        }
+                        Job::Flow {
+                            mut net,
+                            cfg,
+                            journal,
+                            deadline,
+                            reply,
+                        } => {
+                            let out = core
+                                .run_flow_job(&mut net, &cfg, &journal, deadline)
+                                .map(|response| FlowJobResult { net, response });
+                            let _ = reply.send(out);
+                        }
+                        #[cfg(test)]
+                        Job::Barrier(hold) => {
+                            let _ = hold.recv();
+                        }
+                    }
+                }
+                core
+            })
+            .expect("spawn serve worker");
+        ServeHandle {
+            queue,
+            worker: Some(worker),
+            saturated,
+        }
+    }
+
+    /// Requests pending in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn admit(&self, job: Job) -> Result<(), ServeError> {
+        if self.saturated {
+            return Err(ServeError::Overloaded {
+                capacity: self.queue.capacity(),
+            });
+        }
+        self.queue.try_push(job).map_err(|(_, e)| e)
+    }
+
+    /// Submits an inference request; returns a [`Ticket`] immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] if the queue is full (or saturated by
+    /// fault injection); nothing was enqueued.
+    pub fn submit_infer(
+        &self,
+        net: Netlist,
+        deadline: Option<u64>,
+    ) -> Result<Ticket<InferResponse>, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.admit(Job::Infer {
+            net,
+            deadline,
+            reply,
+        })?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits and waits: admission control still applies, the wait does
+    /// not.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeHandle::submit_infer`], plus the worker's error.
+    pub fn infer(&self, net: Netlist, deadline: Option<u64>) -> Result<InferResponse, ServeError> {
+        self.submit_infer(net, deadline)?.wait()
+    }
+
+    /// Submits a journaled flow job; returns a [`Ticket`] immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] if the queue is full.
+    pub fn submit_flow(
+        &self,
+        net: Netlist,
+        cfg: FlowConfig,
+        journal: PathBuf,
+        deadline: Option<u64>,
+    ) -> Result<Ticket<FlowJobResult>, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.admit(Job::Flow {
+            net,
+            cfg,
+            journal,
+            deadline,
+            reply,
+        })?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits a flow job and waits for it.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeHandle::submit_flow`], plus the worker's error.
+    pub fn flow(
+        &self,
+        net: Netlist,
+        cfg: FlowConfig,
+        journal: PathBuf,
+        deadline: Option<u64>,
+    ) -> Result<FlowJobResult, ServeError> {
+        self.submit_flow(net, cfg, journal, deadline)?.wait()
+    }
+
+    /// Drains the queue, stops the worker, and hands the core back.
+    pub fn shutdown(mut self) -> ServeCore {
+        self.queue.close();
+        self.worker
+            .take()
+            .expect("worker present until shutdown")
+            .join()
+            .expect("serve worker panicked")
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.queue.close();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnt_core::{Gcn, GcnConfig};
+    use gcnt_netlist::{generate, GeneratorConfig};
+    use gcnt_nn::seeded_rng;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gcnt-serve-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn model() -> (FeatureNormalizer, MultiStageGcn, Netlist) {
+        let net = generate(&GeneratorConfig::sized("serve", 11, 200));
+        let data = GraphData::from_netlist(&net, None).unwrap();
+        let cfg = GcnConfig {
+            embed_dims: vec![6, 6],
+            fc_dims: vec![6],
+            ..GcnConfig::default()
+        };
+        let stages = vec![
+            Gcn::new(&cfg, &mut seeded_rng(31)),
+            Gcn::new(&cfg, &mut seeded_rng(32)),
+        ];
+        (
+            data.normalizer,
+            MultiStageGcn::from_stages(stages, 0.5),
+            net,
+        )
+    }
+
+    fn core() -> (ServeCore, Netlist) {
+        let (normalizer, model, net) = model();
+        (
+            ServeCore::new(normalizer, model, ServeConfig::default()),
+            net,
+        )
+    }
+
+    #[test]
+    fn handle_round_trips_an_inference_request() {
+        let (core, net) = core();
+        let handle = ServeHandle::start(core);
+        let resp = handle.infer(net.clone(), None).unwrap();
+        assert_eq!(resp.rung, Rung::Incremental);
+        assert_eq!(resp.probs.len(), net.node_count());
+        assert!(resp.spent > 0);
+        assert_eq!(resp.admission_index, 0);
+        let core = handle.shutdown();
+        assert_eq!(core.admitted(), 1);
+    }
+
+    #[test]
+    fn tight_deadline_degrades_but_completes() {
+        let (core, net) = core();
+        let handle = ServeHandle::start(core);
+        let resp = handle.infer(net.clone(), Some(3)).unwrap();
+        assert_eq!(resp.rung, Rung::FirstStage);
+        assert_eq!(resp.dropped.len(), 2);
+        assert_eq!(
+            resp.probs.len(),
+            net.node_count(),
+            "zero drops: it answered"
+        );
+        drop(handle);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let (normalizer, model_, net) = model();
+        let core = ServeCore::new(
+            normalizer,
+            model_,
+            ServeConfig {
+                queue_capacity: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let handle = ServeHandle::start(core);
+        // Park the worker so the queue genuinely fills.
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        handle.queue.try_push(Job::Barrier(hold_rx)).unwrap();
+        // Give the worker a moment to take the barrier off the queue.
+        while handle.pending() > 0 {
+            std::thread::yield_now();
+        }
+        let t1 = handle.submit_infer(net.clone(), None).unwrap();
+        let t2 = handle.submit_infer(net.clone(), None).unwrap();
+        let err = handle.submit_infer(net.clone(), None).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { capacity: 2 }));
+        // Release the worker: every *admitted* request still completes.
+        drop(hold_tx);
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        drop(handle);
+    }
+
+    #[test]
+    fn reload_failures_trip_the_breaker_and_a_probe_heals_it() {
+        let (mut core, _) = core();
+        let fail =
+            || -> Result<(FeatureNormalizer, MultiStageGcn), String> { Err("enoent".to_string()) };
+        // Breaker threshold is 3 guarded calls (each with its own retries).
+        for _ in 0..3 {
+            assert!(matches!(core.reload_model(fail), Err(ServeError::Load(_))));
+        }
+        let mut fast_failures = 0;
+        while let Err(ServeError::BreakerOpen { .. }) = core.reload_model(fail) {
+            fast_failures += 1;
+            assert!(fast_failures < 100, "breaker never half-opened");
+        }
+        // The loop above consumed the cooldown and then ran (and failed)
+        // the probe; one more success closes it for good.
+        while matches!(
+            core.reload_model(&mut || {
+                let (n, m, _) = model();
+                Ok((n, m))
+            }),
+            Err(ServeError::BreakerOpen { .. })
+        ) {}
+        assert_eq!(fast_failures, core.config().breaker.cooldown_calls);
+        assert!(core
+            .reload_model(&mut || {
+                let (n, m, _) = model();
+                Ok((n, m))
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn flow_job_journals_and_resumes_bit_identically() {
+        let (mut core, net) = core();
+        let cfg = FlowConfig {
+            max_iterations: 3,
+            ops_per_iteration: 2,
+            candidate_limit: 4,
+            ..FlowConfig::default()
+        };
+        let dir = temp_dir("flowjob");
+
+        // Uninterrupted reference run.
+        let mut ref_net = net.clone();
+        let reference = core
+            .run_flow_job(&mut ref_net, &cfg, &dir.join("ref.wal"), None)
+            .unwrap();
+        assert_eq!(reference.resumed_batches, 0);
+        assert!(reference.journal_records > 0);
+
+        // "Killed" run: copy a strict prefix of the reference journal, as
+        // if the process died between two records, then resume.
+        let text = std::fs::read_to_string(dir.join("ref.wal")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        for cut in 1..lines.len() {
+            let partial = dir.join(format!("cut{cut}.wal"));
+            std::fs::write(&partial, lines[..cut].join("\n") + "\n").unwrap();
+            let mut resumed_net = net.clone();
+            let resumed = core
+                .run_flow_job(&mut resumed_net, &cfg, &partial, None)
+                .unwrap();
+            assert_eq!(resumed.resumed_batches, cut - 1);
+            assert_eq!(resumed.outcome, reference.outcome, "cut at {cut}");
+            assert_eq!(resumed_net, ref_net, "cut at {cut}");
+            assert_eq!(resumed.journal_records, reference.journal_records);
+            // The healed journal is byte-identical to the reference one.
+            assert_eq!(
+                std::fs::read_to_string(&partial).unwrap(),
+                text,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn flow_job_through_the_handle() {
+        let (core, net) = core();
+        let handle = ServeHandle::start(core);
+        let dir = temp_dir("handleflow");
+        let cfg = FlowConfig {
+            max_iterations: 2,
+            ops_per_iteration: 2,
+            candidate_limit: 4,
+            ..FlowConfig::default()
+        };
+        let done = handle
+            .flow(net.clone(), cfg, dir.join("job.wal"), None)
+            .unwrap();
+        assert!(done.response.journal_records > 0);
+        assert!(done.net.node_count() >= net.node_count());
+        drop(handle);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod faulted {
+        use super::*;
+
+        #[test]
+        fn injected_latency_forces_degradation_with_zero_drops() {
+            let (normalizer, model_, net) = model();
+            // A deadline three full passes wide: comfortable normally,
+            // impossible on a "10x slower machine".
+            let full_rows: u64 = model_
+                .stages()
+                .iter()
+                .map(|g| g.depth() as u64 * net.node_count() as u64)
+                .sum();
+            let config = ServeConfig {
+                default_deadline: Some(3 * full_rows),
+                ..ServeConfig::default()
+            };
+            let healthy = ServeCore::new(normalizer.clone(), model_.clone(), config);
+            let slow = ServeCore::new(normalizer, model_, config)
+                .with_faults(FaultPlan::none().with_latency_multiplier(10));
+            let h1 = ServeHandle::start(healthy);
+            let h2 = ServeHandle::start(slow);
+            for i in 0..4 {
+                let fast = h1.infer(net.clone(), None).unwrap();
+                assert_eq!(fast.rung, Rung::Incremental, "request {i}");
+                let slow = h2.infer(net.clone(), None).unwrap();
+                assert!(
+                    slow.rung > Rung::Incremental,
+                    "request {i} must degrade under injected latency"
+                );
+                assert_eq!(slow.probs.len(), net.node_count(), "request {i} completed");
+            }
+            drop(h1);
+            drop(h2);
+        }
+
+        #[test]
+        fn saturated_queue_rejects_every_submission() {
+            let (normalizer, model_, net) = model();
+            let core = ServeCore::new(normalizer, model_, ServeConfig::default())
+                .with_faults(FaultPlan::none().with_queue_saturation());
+            let handle = ServeHandle::start(core);
+            for _ in 0..3 {
+                assert!(matches!(
+                    handle.infer(net.clone(), None),
+                    Err(ServeError::Overloaded { .. })
+                ));
+            }
+            let core = handle.shutdown();
+            assert_eq!(core.admitted(), 0, "rejected requests never ran");
+        }
+
+        #[test]
+        fn cache_poison_degrades_exactly_the_planned_request() {
+            let (normalizer, model_, net) = model();
+            let core = ServeCore::new(normalizer, model_, ServeConfig::default())
+                .with_faults(FaultPlan::none().with_cache_poison(1));
+            let handle = ServeHandle::start(core);
+            assert_eq!(
+                handle.infer(net.clone(), None).unwrap().rung,
+                Rung::Incremental
+            );
+            let poisoned = handle.infer(net.clone(), None).unwrap();
+            assert_eq!(poisoned.rung, Rung::FullSparse);
+            assert_eq!(poisoned.dropped.len(), 1);
+            assert_eq!(
+                handle.infer(net.clone(), None).unwrap().rung,
+                Rung::Incremental
+            );
+            drop(handle);
+        }
+    }
+}

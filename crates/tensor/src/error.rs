@@ -37,6 +37,16 @@ pub enum TensorError {
         /// Generation of the graph tensors it was used with.
         graph: u64,
     },
+    /// A work budget ran out: the computation was stopped at a
+    /// cooperative checkpoint (see [`crate::Budget`]).
+    BudgetExceeded {
+        /// Embedding-row units charged, including the overrunning charge.
+        spent: u64,
+        /// The budget's cap.
+        cap: u64,
+    },
+    /// The computation was cancelled through a [`crate::Cancel`] handle.
+    Cancelled,
 }
 
 impl fmt::Display for TensorError {
@@ -59,6 +69,11 @@ impl fmt::Display for TensorError {
                 f,
                 "stale embedding cache: cache generation {cache} vs graph generation {graph}"
             ),
+            TensorError::BudgetExceeded { spent, cap } => write!(
+                f,
+                "work budget exceeded: {spent} of {cap} embedding-row units"
+            ),
+            TensorError::Cancelled => write!(f, "computation cancelled"),
         }
     }
 }

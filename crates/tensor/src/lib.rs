@@ -29,12 +29,14 @@
 //! assert_eq!(g.get(1, 0), 3.5);
 //! ```
 
+mod budget;
 mod coo;
 mod csr;
 mod dense;
 mod error;
 pub mod ops;
 
+pub use budget::{Budget, Cancel};
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::Matrix;

@@ -9,6 +9,7 @@
 //! gcnt flow     design.bench --model model.json --out modified.bench
 //! gcnt atpg     design.bench
 //! gcnt lint     design.bench --format json
+//! gcnt serve    --self-test --journal-dir wal/
 //! ```
 //!
 //! Designs are stored in the plain-text `.bench`-style format of
@@ -63,6 +64,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "flow" => cmd_flow(&positional, &options),
         "atpg" => cmd_atpg(&positional, &options),
         "lint" => cmd_lint(&positional, &options),
+        "serve" => cmd_serve(&options),
         "checkpoints" => cmd_checkpoints(&positional),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -90,6 +92,8 @@ fn print_usage() {
          \x20\x20\x20\x20 [--impact-mode full|incremental]\n\
          \x20 gcnt atpg design.bench [--patterns N]\n\
          \x20 gcnt lint design.bench [--model model.json] [--format text|json]\n\
+         \x20 gcnt serve --self-test [--journal-dir DIR] [--requests N] [--deadline ROWS]\n\
+         \x20\x20\x20\x20 [--faults plan.json]\n\
          \x20 gcnt checkpoints DIR"
     );
 }
@@ -443,6 +447,133 @@ fn cmd_lint(
         )
         .into());
     }
+    Ok(())
+}
+
+/// Parses `--faults plan.json` into a [`FaultPlan`]. Deterministic fault
+/// injection only exists in `fault-inject` builds; a production binary
+/// refuses the flag outright instead of silently ignoring it.
+#[cfg(feature = "fault-inject")]
+fn load_fault_plan(path: &str) -> Result<gcn_testability::runtime::FaultPlan, Box<dyn Error>> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    gcn_testability::runtime::FaultPlan::from_json(&text)
+        .map_err(|e| format!("fault plan '{path}': {e}").into())
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn load_fault_plan(_path: &str) -> Result<gcn_testability::runtime::FaultPlan, Box<dyn Error>> {
+    Err("--faults requires a binary built with `--features fault-inject`".into())
+}
+
+/// `gcnt serve --self-test`: an end-to-end exercise of the serving layer
+/// against a deterministic synthetic design and a seeded (untrained)
+/// model. It runs a write-ahead-journaled flow job — resuming whatever a
+/// previous (possibly killed) run left in the journal — and then a batch
+/// of inference requests through the bounded queue and the degradation
+/// ladder. The machine-readable `SELFTEST_*` lines are what the kill/
+/// resume integration test and the CI fault matrix assert on.
+fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    use gcn_testability::gcn::{features::raw_features_of, Gcn, GcnConfig};
+    use gcn_testability::runtime::{fnv1a64, FaultPlan};
+    use gcn_testability::serve::{ServeConfig, ServeCore, ServeError, ServeHandle};
+
+    if !options.contains_key("self-test") {
+        return Err("gcnt serve currently supports --self-test only (see README)".into());
+    }
+    let plan = match options.get("faults") {
+        Some(path) => load_fault_plan(path)?,
+        None => FaultPlan::none(),
+    };
+    let journal_dir = options
+        .get("journal-dir")
+        .cloned()
+        .unwrap_or_else(|| ".".to_string());
+    fs::create_dir_all(&journal_dir)?;
+    let journal_path = std::path::Path::new(&journal_dir).join("selftest.wal");
+    let requests = opt_usize(options, "requests", 4) as u64;
+    let deadline = options
+        .get("deadline")
+        .map(|v| v.parse::<u64>())
+        .transpose()
+        .map_err(|e| format!("--deadline: {e}"))?;
+
+    // A deterministic fixture: same design, same seeded model, every run —
+    // so the flow outcome checksum below is reproducible across restarts.
+    let net = generate(&GeneratorConfig::sized("selftest", 7, 400));
+    let gcn_cfg = GcnConfig {
+        embed_dims: vec![8, 8],
+        fc_dims: vec![8],
+        ..GcnConfig::default()
+    };
+    let stages = vec![
+        Gcn::new(&gcn_cfg, &mut gcn_testability::nn::seeded_rng(41)),
+        Gcn::new(&gcn_cfg, &mut gcn_testability::nn::seeded_rng(42)),
+    ];
+    let model = MultiStageGcn::from_stages(stages, 0.5);
+    let raw = raw_features_of(&net)?;
+    let normalizer = FeatureNormalizer::fit(&[&raw]);
+
+    let saturated = plan.queue_saturated();
+    let mut core = ServeCore::new(normalizer, model, ServeConfig::default()).with_faults(plan);
+
+    if saturated {
+        // Admission-control drill: every submission must bounce with a
+        // typed Overloaded, and nothing may queue up behind the fault.
+        let handle = ServeHandle::start(core);
+        for i in 0..requests {
+            match handle.submit_infer(net.clone(), deadline) {
+                Err(ServeError::Overloaded { capacity }) => {
+                    println!("SELFTEST_OVERLOADED i={i} capacity={capacity}");
+                }
+                Err(e) => return Err(format!("expected Overloaded, got: {e}").into()),
+                Ok(_) => return Err("saturated queue admitted a request".into()),
+            }
+        }
+        let core = handle.shutdown();
+        println!("SELFTEST_DONE admitted={}", core.admitted());
+        return Ok(());
+    }
+
+    // Journaled flow job: resumes whatever the journal already holds.
+    // A permissive threshold keeps the untrained model inserting for
+    // several iterations, so the journal accumulates enough batch records
+    // for a mid-flow kill to land between two of them.
+    let flow_cfg = FlowConfig {
+        max_iterations: 5,
+        ops_per_iteration: 2,
+        prob_threshold: 0.05,
+        ..FlowConfig::default()
+    };
+    // The flow job runs without a deadline: a budget-stopped flow is
+    // *resumable*, not degradable, and the ladder drill below is about
+    // inference. `--deadline` shapes only the per-request budgets.
+    let mut flow_net = net.clone();
+    let flow = core.run_flow_job(&mut flow_net, &flow_cfg, &journal_path, None)?;
+    let outcome_json = serde_json::to_string(&flow.outcome)?;
+    let mut digest = outcome_json.into_bytes();
+    digest.extend_from_slice(format::write(&flow_net).as_bytes());
+    println!(
+        "SELFTEST_FLOW records={} resumed={} torn_tail={} checksum={:016x}",
+        flow.journal_records,
+        flow.resumed_batches,
+        flow.recovered_torn_tail,
+        fnv1a64(&digest)
+    );
+
+    // Inference requests through the queue and the degradation ladder.
+    let handle = ServeHandle::start(core);
+    for i in 0..requests {
+        let resp = handle.infer(net.clone(), deadline)?;
+        println!(
+            "SELFTEST_INFER i={i} rung={} dropped={} positives={} spent={}",
+            resp.rung,
+            resp.dropped.len(),
+            resp.positives,
+            resp.spent
+        );
+    }
+    let core = handle.shutdown();
+    println!("SELFTEST_DONE admitted={}", core.admitted());
     Ok(())
 }
 

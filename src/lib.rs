@@ -22,6 +22,7 @@
 //! | [`dft`] | logic simulation, CPT, ATPG, labeling, both OP-insertion flows |
 //! | [`lint`] | cross-crate static analysis: netlist, tensor and model invariants with stable rule ids |
 //! | [`runtime`] | resilience: checksummed checkpoint/resume, divergence guards, fault injection |
+//! | [`serve`] | long-lived service: bounded admission, deadlines, degradation ladder, write-ahead journaled flow jobs |
 //!
 //! ## Quickstart
 //!
@@ -51,4 +52,5 @@ pub use gcnt_mlbase as mlbase;
 pub use gcnt_netlist as netlist;
 pub use gcnt_nn as nn;
 pub use gcnt_runtime as runtime;
+pub use gcnt_serve as serve;
 pub use gcnt_tensor as tensor;

@@ -369,6 +369,48 @@ proptest! {
         prop_assert_eq!(net_full, net_inc);
     }
 
+    /// Degradation-ladder monotonicity: on the same request, a tighter
+    /// deadline never selects a *higher* (earlier) rung than a looser one.
+    #[test]
+    fn serve_rung_is_monotone_in_the_deadline(
+        net in arb_netlist(),
+        seed in any::<u64>(),
+        cap_a in 1u64..20_000,
+        cap_b in 1u64..20_000,
+    ) {
+        use gcn_testability::serve::classify_with_ladder;
+        use gcn_testability::tensor::Budget;
+
+        let data = GraphData::from_netlist(&net, None).unwrap();
+        let cfg = GcnConfig {
+            embed_dims: vec![6, 6],
+            fc_dims: vec![6],
+            ..GcnConfig::default()
+        };
+        let model = gcn_testability::gcn::MultiStageGcn::from_stages(
+            vec![Gcn::new(&cfg, &mut seeded_rng(seed)), Gcn::new(&cfg, &mut seeded_rng(seed ^ 1))],
+            0.5,
+        );
+        let (loose, tight) = (cap_a.max(cap_b), cap_a.min(cap_b));
+        let at = |cap: u64| {
+            classify_with_ladder(
+                &model,
+                &data.tensors,
+                &data.features,
+                &Budget::with_cap(cap),
+                false,
+            )
+            .unwrap()
+        };
+        let loose_out = at(loose);
+        let tight_out = at(tight);
+        prop_assert!(
+            tight_out.rung.depth() >= loose_out.rung.depth(),
+            "cap {} picked {} but looser cap {} picked {}",
+            tight, tight_out.rung, loose, loose_out.rung
+        );
+    }
+
     /// spmm distributes over dense addition: A(X + Y) = AX + AY.
     #[test]
     fn spmm_linearity(net in arb_netlist(), seed in any::<u64>()) {
@@ -383,5 +425,93 @@ proptest! {
         for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
             prop_assert!((a - b).abs() < 1e-3);
         }
+    }
+}
+
+/// A scratch journal path unique to this process and call.
+fn scratch_wal(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gcnt-prop-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("flow.wal")
+}
+
+proptest! {
+    // Each case runs several full flows; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Write-ahead journal replay is idempotent through the filesystem: a
+    /// flow killed after *any* prefix of committed batch records — with or
+    /// without a torn half-written line behind it — resumes on restart to
+    /// the same outcome, the same design, and a byte-identical journal as
+    /// an uninterrupted run.
+    #[test]
+    fn serve_journal_resume_is_bit_identical(
+        net in arb_netlist(),
+        seed in any::<u64>(),
+        cut_pick in any::<u32>(),
+        torn in any::<bool>(),
+    ) {
+        use gcn_testability::gcn::MultiStageGcn;
+        use gcn_testability::serve::{ServeConfig, ServeCore};
+
+        let data = GraphData::from_netlist(&net, None).unwrap();
+        let cfg = GcnConfig {
+            embed_dims: vec![6, 6],
+            fc_dims: vec![6],
+            ..GcnConfig::default()
+        };
+        let model = MultiStageGcn::from_stages(
+            vec![Gcn::new(&cfg, &mut seeded_rng(seed))],
+            0.5,
+        );
+        let flow_cfg = FlowConfig {
+            max_iterations: 3,
+            ops_per_iteration: 2,
+            candidate_limit: 6,
+            prob_threshold: 0.05,
+            ..FlowConfig::default()
+        };
+        let fresh_core = || {
+            ServeCore::new(data.normalizer.clone(), model.clone(), ServeConfig::default())
+        };
+
+        // Uninterrupted reference run.
+        let ref_wal = scratch_wal("ref");
+        let mut ref_net = net.clone();
+        let reference = fresh_core()
+            .run_flow_job(&mut ref_net, &flow_cfg, &ref_wal, None)
+            .unwrap();
+        let ref_text = std::fs::read_to_string(&ref_wal).unwrap();
+        let lines: Vec<&str> = ref_text.lines().collect();
+        let records = lines.len() - 1; // minus the header line
+
+        // Crash site: keep the header plus `cut` committed records,
+        // optionally followed by a torn (half-written) line.
+        let cut = if records == 0 { 0 } else { cut_pick as usize % (records + 1) };
+        let cut_wal = scratch_wal("cut");
+        let mut prefix = lines[..=cut].join("\n");
+        prefix.push('\n');
+        if torn {
+            prefix.push_str("{\"seq\":999,\"chec"); // no trailing newline
+        }
+        std::fs::write(&cut_wal, &prefix).unwrap();
+
+        let mut cut_net = net.clone();
+        let resumed = fresh_core()
+            .run_flow_job(&mut cut_net, &flow_cfg, &cut_wal, None)
+            .unwrap();
+        prop_assert_eq!(resumed.resumed_batches, cut);
+        prop_assert_eq!(resumed.recovered_torn_tail, torn);
+        prop_assert_eq!(&resumed.outcome, &reference.outcome);
+        prop_assert_eq!(&cut_net, &ref_net);
+        prop_assert_eq!(resumed.journal_records, reference.journal_records);
+        let cut_text = std::fs::read_to_string(&cut_wal).unwrap();
+        prop_assert_eq!(cut_text, ref_text, "healed journal must match the reference");
     }
 }

@@ -1,0 +1,153 @@
+//! Kill/resume integration tests for the serving layer, driven through
+//! the real `gcnt` binary: a flow job whose process dies mid-run must,
+//! on restart, resume from its write-ahead journal to a **bit-identical**
+//! outcome checksum.
+//!
+//! Two kill mechanisms are exercised:
+//!
+//! * an external `SIGKILL` delivered while the journal is growing (the
+//!   timing is racy by design — whether the kill lands mid-flow or after
+//!   completion, the rerun's checksum must match the reference);
+//! * with `--features fault-inject`, a deterministic in-process abort
+//!   immediately after a chosen record reaches disk.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gcnt-serve-kill-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn gcnt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gcnt"))
+}
+
+/// Runs `gcnt serve --self-test` to completion and returns its stdout.
+fn run_selftest(dir: &Path, extra: &[&str]) -> String {
+    let out = gcnt()
+        .arg("serve")
+        .arg("--self-test")
+        .arg("--journal-dir")
+        .arg(dir)
+        .args(extra)
+        .output()
+        .expect("run gcnt serve");
+    assert!(
+        out.status.success(),
+        "self-test failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+/// Extracts `key=value` from a `SELFTEST_FLOW ...` line.
+fn flow_field(stdout: &str, key: &str) -> String {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("SELFTEST_FLOW"))
+        .unwrap_or_else(|| panic!("no SELFTEST_FLOW line in:\n{stdout}"));
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= field in: {line}"))
+        .to_string()
+}
+
+fn wal_lines(dir: &Path) -> usize {
+    std::fs::read_to_string(dir.join("selftest.wal"))
+        .map(|t| t.lines().count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn sigkill_mid_flow_resumes_to_identical_checksum() {
+    // Reference: an uninterrupted run in its own journal dir.
+    let ref_dir = temp_dir("ref");
+    let reference = run_selftest(&ref_dir, &["--requests", "1"]);
+    let want = flow_field(&reference, "checksum");
+    assert_eq!(flow_field(&reference, "resumed"), "0");
+
+    // Victim: kill the process as soon as the journal holds at least the
+    // header and one committed record.
+    let kill_dir = temp_dir("victim");
+    let mut child = gcnt()
+        .arg("serve")
+        .arg("--self-test")
+        .arg("--journal-dir")
+        .arg(&kill_dir)
+        .arg("--requests")
+        .arg("1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn victim");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if wal_lines(&kill_dir) >= 2 || child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "journal never appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = child.kill(); // SIGKILL on unix; no-op if already exited
+    let _ = child.wait();
+
+    // Rerun in the victim's dir: whatever the journal holds, the outcome
+    // must be bit-identical to the uninterrupted reference.
+    let resumed = run_selftest(&kill_dir, &["--requests", "1"]);
+    assert_eq!(
+        flow_field(&resumed, "checksum"),
+        want,
+        "resumed outcome diverged from the uninterrupted run:\n{resumed}"
+    );
+    // The poll loop guaranteed at least one committed record (or a clean
+    // finish, which journals all of them) before the kill.
+    assert!(
+        flow_field(&resumed, "resumed").parse::<usize>().unwrap() >= 1,
+        "nothing was resumed:\n{resumed}"
+    );
+}
+
+/// With fault injection the kill is deterministic: the process aborts the
+/// instant record 0 is fsynced, so the rerun always resumes exactly one
+/// batch.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn injected_kill_after_first_record_resumes_deterministically() {
+    let dir = temp_dir("inject");
+    let plan = dir.join("faults.json");
+    std::fs::write(&plan, r#"{"kill_after_record": 0}"#).expect("write plan");
+
+    let out = gcnt()
+        .arg("serve")
+        .arg("--self-test")
+        .arg("--journal-dir")
+        .arg(&dir)
+        .arg("--faults")
+        .arg(&plan)
+        .output()
+        .expect("run victim");
+    assert!(
+        !out.status.success(),
+        "kill_after_record run must die, got:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert_eq!(wal_lines(&dir), 2, "header + exactly one committed record");
+
+    // Clean reference in a separate dir, then the deterministic resume.
+    let ref_dir = temp_dir("inject-ref");
+    let want = flow_field(&run_selftest(&ref_dir, &["--requests", "1"]), "checksum");
+    let resumed = run_selftest(&dir, &["--requests", "1"]);
+    assert_eq!(flow_field(&resumed, "checksum"), want);
+    assert_eq!(flow_field(&resumed, "resumed"), "1");
+}
