@@ -13,10 +13,22 @@ use gcnt_dft::labeler::LabelConfig;
 use gcnt_netlist::{generate, GeneratorConfig, Netlist};
 use gcnt_tensor::Matrix;
 
+/// `GCNT_BENCH_SABOTAGE=1` doubles the flow work per measured iteration.
+/// It exists solely to verify the CI bench gate end to end: a run with the
+/// variable set must trip the >25% median-regression check. Never set it
+/// when recording a baseline.
+fn sabotage_factor() -> u32 {
+    match std::env::var("GCNT_BENCH_SABOTAGE") {
+        Ok(v) if v == "1" => 2,
+        _ => 1,
+    }
+}
+
 fn bench_flow(c: &mut Criterion) {
     let net = generate(&GeneratorConfig::sized("flow", 13, 2_000));
     let raw = gcnt_core::features::raw_features_of(&net).expect("acyclic");
     let normalizer = FeatureNormalizer::fit(&[&raw]);
+    let sabotage = sabotage_factor();
 
     let mut group = c.benchmark_group("flow");
     group.sample_size(10);
@@ -34,7 +46,37 @@ fn bench_flow(c: &mut Criterion) {
                     max_iterations: 1,
                     ..FlowConfig::default()
                 };
+                for _ in 1..sabotage {
+                    run_gcn_opi(&mut net.clone(), &normalizer, oracle, &cfg).expect("flow runs");
+                }
                 run_gcn_opi(&mut net2, &normalizer, oracle, &cfg).expect("flow runs")
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    // The same measured body with the metrics registry switched on, so
+    // every bench run shows both sides of the observability cost story:
+    // `gcn_opi_one_iteration` (registry disabled — the production default,
+    // every record path a relaxed load + branch) next to this one (full
+    // recording). The disabled-path ≤2% acceptance bound is checked
+    // against `gcn_opi_one_iteration`.
+    group.bench_function("gcn_opi_metrics_enabled", |b| {
+        b.iter_batched(
+            || net.clone(),
+            |mut net2| {
+                let oracle = |_t: &gcnt_core::GraphTensors, f: &Matrix| {
+                    Ok((0..f.rows())
+                        .map(|r| if f.get(r, 3) > 2.0 { 0.9 } else { 0.1 })
+                        .collect())
+                };
+                let cfg = FlowConfig {
+                    max_iterations: 1,
+                    ..FlowConfig::default()
+                };
+                gcnt_obs::global().enable();
+                let out = run_gcn_opi(&mut net2, &normalizer, oracle, &cfg).expect("flow runs");
+                gcnt_obs::global().disable();
+                out
             },
             criterion::BatchSize::LargeInput,
         )

@@ -513,6 +513,15 @@ impl<'m> CascadeSession<'m> {
             .sum::<u64>();
         let rows_full =
             self.stages.iter().map(|g| g.depth() as u64).sum::<u64>() * t.node_count() as u64;
+        let obs = gcnt_obs::global();
+        if obs.is_enabled() {
+            obs.incr(gcnt_obs::counters::CORE_SESSION_REFRESHES);
+            obs.add(gcnt_obs::counters::CORE_INCR_ROWS_COMPUTED, rows_computed);
+            obs.add(
+                gcnt_obs::counters::CORE_INCR_ROWS_REUSED,
+                rows_full.saturating_sub(rows_computed),
+            );
+        }
         Ok(SessionDelta {
             stage_deltas,
             rows,
@@ -527,6 +536,7 @@ impl<'m> CascadeSession<'m> {
     /// probabilities bit-for-bit. Deltas must be reverted in reverse order
     /// of application.
     pub fn revert(&mut self, delta: SessionDelta) {
+        gcnt_obs::global().incr(gcnt_obs::counters::CORE_SESSION_REVERTS);
         let SessionDelta {
             stage_deltas,
             rows,

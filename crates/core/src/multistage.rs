@@ -115,6 +115,15 @@ impl MultiStageGcn {
         let mut reports = Vec::with_capacity(cfg.stages);
         for stage in 0..cfg.stages {
             let total_active: usize = active.iter().map(Vec::len).sum();
+            if stage < 4 {
+                let gauge = [
+                    gcnt_obs::gauges::CORE_CASCADE_STAGE0_ACTIVE,
+                    gcnt_obs::gauges::CORE_CASCADE_STAGE1_ACTIVE,
+                    gcnt_obs::gauges::CORE_CASCADE_STAGE2_ACTIVE,
+                    gcnt_obs::gauges::CORE_CASCADE_STAGE3_ACTIVE,
+                ][stage];
+                gcnt_obs::global().gauge_set(gauge, total_active as f64);
+            }
             let positives: usize = graphs
                 .iter()
                 .zip(&active)
@@ -225,6 +234,7 @@ impl MultiStageGcn {
         x: &Matrix,
         budget: &gcnt_tensor::Budget,
     ) -> Result<Vec<f32>> {
+        gcnt_obs::global().incr(gcnt_obs::counters::CORE_CASCADE_INFERENCES);
         let n = t.node_count();
         let mut out = vec![0.0f32; n];
         let mut alive: Vec<bool> = vec![true; n];

@@ -147,6 +147,8 @@ pub fn train(
     for epoch in 0..cfg.epochs {
         let (loss, total, confusion) = epoch_grads(gcn, graphs, masks, &class_weights)?;
         apply_update(gcn, &total, cfg, &mut optimizer);
+        gcnt_obs::global().incr(gcnt_obs::counters::CORE_TRAIN_EPOCHS);
+        gcnt_obs::global().gauge_set(gcnt_obs::gauges::CORE_TRAIN_LOSS, f64::from(loss));
         history.push(EpochStats {
             epoch,
             loss,

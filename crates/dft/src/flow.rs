@@ -688,6 +688,12 @@ fn note_full_pass<F: FlowClassifier>(stats: &mut InferenceStats, classify: &F, n
     stats.rows_computed += rows;
     stats.rows_full += rows;
     stats.inferences += 1;
+    let obs = gcnt_obs::global();
+    if obs.is_enabled() {
+        obs.add(gcnt_obs::counters::DFT_FLOW_ROWS_COMPUTED, rows);
+        obs.add(gcnt_obs::counters::DFT_FLOW_ROWS_FULL, rows);
+        obs.incr(gcnt_obs::counters::DFT_FLOW_INFERENCES);
+    }
 }
 
 /// Accounts one incremental session refresh.
@@ -695,6 +701,18 @@ fn note_refresh(stats: &mut InferenceStats, delta: &SessionDelta) {
     stats.rows_computed += delta.rows_computed();
     stats.rows_full += delta.rows_full_equivalent();
     stats.inferences += 1;
+    let obs = gcnt_obs::global();
+    if obs.is_enabled() {
+        obs.add(
+            gcnt_obs::counters::DFT_FLOW_ROWS_COMPUTED,
+            delta.rows_computed(),
+        );
+        obs.add(
+            gcnt_obs::counters::DFT_FLOW_ROWS_FULL,
+            delta.rows_full_equivalent(),
+        );
+        obs.incr(gcnt_obs::counters::DFT_FLOW_INFERENCES);
+    }
 }
 
 /// Serves the current probabilities: refreshes the session with the rows
@@ -855,6 +873,8 @@ where
         };
         for iteration in first_iteration..cfg.max_iterations {
             budget.charge(0)?; // cancellation checkpoint between iterations
+            let _iter_span = gcnt_obs::span(gcnt_obs::histograms::DFT_FLOW_ITERATION_NS);
+            gcnt_obs::global().incr(gcnt_obs::counters::DFT_FLOW_ITERATIONS);
             let skipped_before = skipped.len();
             let probs = current_probs(&mut state, &mut session, &classify, &mut stats, budget)?;
             // Positive predictions, excluding nodes that are already
@@ -907,6 +927,7 @@ where
                     cfg,
                 )?;
                 scored.push((v, impact, p));
+                gcnt_obs::global().incr(gcnt_obs::counters::DFT_FLOW_CANDIDATES_SCORED);
             }
             scored.sort_by(|a, b| {
                 b.1.cmp(&a.1)
@@ -942,11 +963,13 @@ where
                         }
                         inserted.push(target);
                         inserted_now += 1;
+                        gcnt_obs::global().incr(gcnt_obs::counters::DFT_FLOW_OPS_INSERTED);
                     }
                     Err(e) => match snapshot {
                         Some(prev) => {
                             state = prev;
                             skipped.push(target);
+                            gcnt_obs::global().incr(gcnt_obs::counters::DFT_FLOW_SKIPS);
                         }
                         None => return Err(e),
                     },

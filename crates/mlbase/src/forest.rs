@@ -96,6 +96,7 @@ impl RandomForest {
     /// is empty.
     pub fn fit(x: &Matrix, labels: &[usize], cfg: &RandomForestConfig) -> Self {
         assert_eq!(labels.len(), x.rows(), "one label per row");
+        gcnt_obs::global().incr(gcnt_obs::counters::MLBASE_FITS);
         assert!(labels.iter().all(|&l| l <= 1), "binary labels expected");
         assert!(x.rows() > 0, "cannot fit on an empty dataset");
         let n = x.rows();

@@ -60,6 +60,7 @@ impl MlpClassifier {
     /// Panics if `labels.len() != x.rows()` or any label exceeds 1.
     pub fn fit(x: &Matrix, labels: &[usize], cfg: &MlpClassifierConfig) -> Self {
         assert_eq!(labels.len(), x.rows(), "one label per row");
+        gcnt_obs::global().incr(gcnt_obs::counters::MLBASE_FITS);
         assert!(labels.iter().all(|&l| l <= 1), "binary labels expected");
         let mut dims = vec![x.cols()];
         dims.extend_from_slice(&cfg.hidden_dims);

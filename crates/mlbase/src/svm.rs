@@ -54,6 +54,7 @@ impl LinearSvm {
     /// Panics if `labels.len() != x.rows()` or any label exceeds 1.
     pub fn fit(x: &Matrix, labels: &[usize], cfg: &LinearSvmConfig) -> Self {
         assert_eq!(labels.len(), x.rows(), "one label per row");
+        gcnt_obs::global().incr(gcnt_obs::counters::MLBASE_FITS);
         assert!(labels.iter().all(|&l| l <= 1), "binary labels expected");
         let n = x.rows();
         let d = x.cols();

@@ -177,6 +177,7 @@ impl DesignPreset {
 /// assert!(net.node_count() >= 400);
 /// ```
 pub fn generate(cfg: &GeneratorConfig) -> Netlist {
+    gcnt_obs::global().incr(gcnt_obs::counters::NETLIST_DESIGNS_GENERATED);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut net = Netlist::new(cfg.name.clone());
     // `pool` holds nodes that later gates may use as fanins; shadow-hidden

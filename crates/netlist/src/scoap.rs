@@ -69,6 +69,7 @@ impl Scoap {
     /// Returns [`crate::NetlistError::CombinationalCycle`] if the netlist
     /// has a combinational cycle.
     pub fn compute(net: &Netlist) -> Result<Self> {
+        gcnt_obs::global().incr(gcnt_obs::counters::NETLIST_SCOAP_COMPUTES);
         let order = net.topo_order()?;
         let n = net.node_count();
         let mut scoap = Scoap {

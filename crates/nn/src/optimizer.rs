@@ -223,6 +223,7 @@ impl ModelOptimizer {
     pub fn step(&mut self, params: Vec<&mut [f32]>, grads: Vec<&[f32]>) {
         assert_eq!(params.len(), self.params.len(), "parameter count");
         assert_eq!(grads.len(), self.params.len(), "gradient count");
+        gcnt_obs::global().incr(gcnt_obs::counters::NN_OPTIMIZER_STEPS);
         for ((opt, p), g) in self.params.iter_mut().zip(params).zip(grads) {
             opt.step(p, g);
         }

@@ -1,0 +1,289 @@
+//! Deterministic snapshots of a registry in JSON and Prometheus text
+//! exposition formats.
+//!
+//! Both formats emit **every** catalog metric in catalog order, including
+//! zero-valued ones, so the key set of a snapshot is a function of the
+//! catalog alone — which is what lets CI diff a snapshot's keys against a
+//! committed golden list.
+
+use crate::catalog::{CounterId, GaugeId, HistogramId, COUNTERS, GAUGES, HISTOGRAMS};
+use crate::registry::MetricsRegistry;
+
+/// A point-in-time copy of every metric in a registry.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// (name, value) per counter, catalog order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// (name, value) per gauge, catalog order.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Per histogram, catalog order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Exposition name.
+    pub name: &'static str,
+    /// Explicit upper bounds, as declared in the catalog.
+    pub bounds: &'static [u64],
+    /// Non-cumulative per-bucket counts; last entry is the `+Inf` bucket,
+    /// so `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl Snapshot {
+    /// Captures the current state of `registry`. Concurrent writers may
+    /// land between individual loads; each metric is itself consistent.
+    pub fn capture(registry: &MetricsRegistry) -> Self {
+        let counters = COUNTERS
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name, registry.counter(CounterId(i))))
+            .collect();
+        let gauges = GAUGES
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name, registry.gauge(GaugeId(i))))
+            .collect();
+        let histograms = HISTOGRAMS
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let id = HistogramId(i);
+                HistogramSnapshot {
+                    name: d.name,
+                    bounds: d.buckets,
+                    counts: registry.histogram_buckets(id),
+                    sum: registry.histogram_sum(id),
+                    count: registry.histogram_count(id),
+                }
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Value of a counter by exposition name, if it exists in the catalog.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge by exposition name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// A histogram by exposition name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the snapshot as a stable JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"gcnt_...": 0, ...},
+    ///   "gauges": {"gcnt_...": 0.0, ...},
+    ///   "histograms": {"gcnt_...": {"buckets": [[1000, 0], ...],
+    ///                               "inf": 0, "sum": 0, "count": 0}, ...}
+    /// }
+    /// ```
+    ///
+    /// Keys appear in catalog order; the output is byte-stable for equal
+    /// metric values. (Hand-rolled because the workspace's serde_json shim
+    /// has no untyped `Value`.)
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            out.push_str(name);
+            out.push_str("\": ");
+            out.push_str(&value.to_string());
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            out.push_str(name);
+            out.push_str("\": ");
+            out.push_str(&fmt_f64(*value));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    \"");
+            out.push_str(h.name);
+            out.push_str("\": {\"buckets\": [");
+            for (j, bound) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                out.push_str(&bound.to_string());
+                out.push_str(", ");
+                out.push_str(&h.counts[j].to_string());
+                out.push(']');
+            }
+            out.push_str("], \"inf\": ");
+            out.push_str(&h.counts[h.bounds.len()].to_string());
+            out.push_str(", \"sum\": ");
+            out.push_str(&h.sum.to_string());
+            out.push_str(", \"count\": ");
+            out.push_str(&h.count.to_string());
+            out.push('}');
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` per family, cumulative `le` buckets,
+    /// `_sum`/`_count` series for histograms).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            push_header(&mut out, name, COUNTERS[i].help, "counter");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            push_header(&mut out, name, GAUGES[i].help, "gauge");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&fmt_f64(*value));
+            out.push('\n');
+        }
+        for (i, h) in self.histograms.iter().enumerate() {
+            push_header(&mut out, h.name, HISTOGRAMS[i].help, "histogram");
+            let mut cumulative = 0u64;
+            for (j, bound) in h.bounds.iter().enumerate() {
+                cumulative += h.counts[j];
+                out.push_str(h.name);
+                out.push_str("_bucket{le=\"");
+                out.push_str(&bound.to_string());
+                out.push_str("\"} ");
+                out.push_str(&cumulative.to_string());
+                out.push('\n');
+            }
+            out.push_str(h.name);
+            out.push_str("_bucket{le=\"+Inf\"} ");
+            out.push_str(&h.count.to_string());
+            out.push('\n');
+            out.push_str(h.name);
+            out.push_str("_sum ");
+            out.push_str(&h.sum.to_string());
+            out.push('\n');
+            out.push_str(h.name);
+            out.push_str("_count ");
+            out.push_str(&h.count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn push_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// JSON-safe f64 formatting: integral values keep a `.0` suffix so the
+/// field stays typed as a float; non-finite values (invalid JSON) are
+/// clamped to 0.0.
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0.0".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{
+        counters, gauges, histograms, COUNTER_COUNT, GAUGE_COUNT, HISTOGRAM_COUNT,
+    };
+
+    #[test]
+    fn capture_contains_full_catalog() {
+        let r = MetricsRegistry::new();
+        let snap = Snapshot::capture(&r);
+        assert_eq!(snap.counters.len(), COUNTER_COUNT);
+        assert_eq!(snap.gauges.len(), GAUGE_COUNT);
+        assert_eq!(snap.histograms.len(), HISTOGRAM_COUNT);
+        assert_eq!(snap.counter("gcnt_tensor_spmm_rows_total"), Some(0));
+    }
+
+    #[test]
+    fn json_is_stable_and_reflects_values() {
+        let r = MetricsRegistry::new();
+        r.enable();
+        r.add(counters::TENSOR_SPMM_ROWS, 42);
+        r.gauge_set(gauges::CORE_TRAIN_LOSS, 0.125);
+        r.observe(histograms::SERVE_JOURNAL_FSYNC_NS, 900);
+        let a = Snapshot::capture(&r).to_json();
+        let b = Snapshot::capture(&r).to_json();
+        assert_eq!(a, b, "snapshots of an idle registry must be byte-stable");
+        assert!(a.contains("\"gcnt_tensor_spmm_rows_total\": 42"));
+        assert!(a.contains("\"gcnt_core_train_loss\": 0.125"));
+        assert!(a.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let r = MetricsRegistry::new();
+        r.enable();
+        r.observe(histograms::SERVE_JOURNAL_FSYNC_NS, 500); // le=1000
+        r.observe(histograms::SERVE_JOURNAL_FSYNC_NS, 3_000); // le=4000
+        let text = Snapshot::capture(&r).to_prometheus();
+        assert!(text.contains("gcnt_serve_journal_fsync_ns_bucket{le=\"1000\"} 1"));
+        assert!(text.contains("gcnt_serve_journal_fsync_ns_bucket{le=\"4000\"} 2"));
+        assert!(text.contains("gcnt_serve_journal_fsync_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("gcnt_serve_journal_fsync_ns_count 2"));
+        assert!(text.contains("# TYPE gcnt_serve_journal_fsync_ns histogram"));
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_zero() {
+        assert_eq!(fmt_f64(f64::NAN), "0.0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0.0");
+        assert_eq!(fmt_f64(3.0), "3.0");
+        assert_eq!(fmt_f64(0.5), "0.5");
+    }
+}

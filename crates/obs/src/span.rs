@@ -1,0 +1,97 @@
+//! Scoped span timers: measure a region's wall-clock time into a
+//! nanosecond histogram via a drop guard.
+//!
+//! When the registry is disabled the guard never touches the clock —
+//! construction and drop are both a relaxed load and a branch — so a
+//! `SpanTimer` can sit permanently on a hot path.
+
+use std::time::Instant;
+
+use crate::catalog::HistogramId;
+use crate::registry::MetricsRegistry;
+
+/// Times from construction to drop and records the elapsed nanoseconds
+/// into `hist`. Obtain one with [`MetricsRegistry`]-aware [`SpanTimer::start`].
+pub struct SpanTimer<'a> {
+    registry: &'a MetricsRegistry,
+    hist: HistogramId,
+    // None when the registry was disabled at start: no clock read, no record.
+    started: Option<Instant>,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts a span against `registry`. Reads the clock only if the
+    /// registry is enabled.
+    #[inline]
+    pub fn start(registry: &'a MetricsRegistry, hist: HistogramId) -> Self {
+        let started = if registry.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        SpanTimer {
+            registry,
+            hist,
+            started,
+        }
+    }
+
+    /// Abandons the span without recording (e.g. the guarded operation
+    /// failed and its latency would pollute the histogram).
+    #[inline]
+    pub fn cancel(mut self) {
+        self.started = None;
+    }
+
+    /// Ends the span now and records it, consuming the guard.
+    #[inline]
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(started) = self.started.take() {
+            let ns = started.elapsed().as_nanos();
+            self.registry
+                .observe(self.hist, u64::try_from(ns).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::histograms;
+
+    #[test]
+    fn records_when_enabled() {
+        let r = MetricsRegistry::new();
+        r.enable();
+        {
+            let _span = SpanTimer::start(&r, histograms::SERVE_JOURNAL_FSYNC_NS);
+            std::hint::black_box(1 + 1);
+        }
+        assert_eq!(r.histogram_count(histograms::SERVE_JOURNAL_FSYNC_NS), 1);
+    }
+
+    #[test]
+    fn silent_when_disabled() {
+        let r = MetricsRegistry::new();
+        {
+            let _span = SpanTimer::start(&r, histograms::SERVE_JOURNAL_FSYNC_NS);
+        }
+        assert_eq!(r.histogram_count(histograms::SERVE_JOURNAL_FSYNC_NS), 0);
+    }
+
+    #[test]
+    fn cancel_discards_the_span() {
+        let r = MetricsRegistry::new();
+        r.enable();
+        let span = SpanTimer::start(&r, histograms::SERVE_JOURNAL_FSYNC_NS);
+        span.cancel();
+        assert_eq!(r.histogram_count(histograms::SERVE_JOURNAL_FSYNC_NS), 0);
+    }
+}

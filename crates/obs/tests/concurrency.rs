@@ -1,0 +1,91 @@
+//! Concurrency soundness of the metrics registry: any interleaving of
+//! counter and histogram updates from several threads must yield a snapshot
+//! whose totals equal the serial sum of the same operations. The registry
+//! uses only relaxed atomics, so this is exactly the guarantee it claims —
+//! per-cell totals, not cross-metric consistency.
+
+use gcnt_obs::catalog::{counters, histograms};
+use gcnt_obs::{CounterId, HistogramId, MetricsRegistry, Snapshot};
+use proptest::prelude::*;
+
+const THREADS: usize = 4;
+
+/// One recorded operation, pre-generated so every thread replays its own
+/// deterministic slice while racing the others on the shared registry.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add(CounterId, u64),
+    Observe(HistogramId, u64),
+}
+
+const COUNTER_CHOICES: [CounterId; 3] = [
+    counters::TENSOR_SPMM_ROWS,
+    counters::DFT_FLOW_CANDIDATES_SCORED,
+    counters::SERVE_REQUESTS,
+];
+
+const HISTOGRAM_CHOICES: [HistogramId; 2] = [
+    histograms::DFT_FLOW_ITERATION_NS,
+    histograms::SERVE_REQUEST_ROWS_SPENT,
+];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0usize..5, 0u64..1_000_000).prop_map(|(kind, value)| match kind {
+        0..=2 => Op::Add(COUNTER_CHOICES[kind], value),
+        3 => Op::Observe(HISTOGRAM_CHOICES[0], value),
+        _ => Op::Observe(HISTOGRAM_CHOICES[1], value),
+    })
+}
+
+fn apply(registry: &MetricsRegistry, op: Op) {
+    match op {
+        Op::Add(id, delta) => registry.add(id, delta),
+        Op::Observe(id, value) => registry.observe(id, value),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn threaded_updates_sum_like_serial(
+        ops in proptest::collection::vec(op_strategy(), 64..512),
+    ) {
+        // Serial reference on a private registry instance.
+        let serial = MetricsRegistry::new();
+        serial.enable();
+        for &op in &ops {
+            apply(&serial, op);
+        }
+
+        // The same ops round-robined over 4 threads racing on one registry.
+        let threaded = MetricsRegistry::new();
+        threaded.enable();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let ops = &ops;
+                let threaded = &threaded;
+                scope.spawn(move || {
+                    for (_, &op) in
+                        ops.iter().enumerate().filter(|(i, _)| i % THREADS == t)
+                    {
+                        apply(threaded, op);
+                    }
+                });
+            }
+        });
+
+        let expect = Snapshot::capture(&serial);
+        let got = Snapshot::capture(&threaded);
+        for &id in &COUNTER_CHOICES {
+            prop_assert_eq!(serial.counter(id), threaded.counter(id));
+        }
+        for &id in &HISTOGRAM_CHOICES {
+            prop_assert_eq!(serial.histogram_count(id), threaded.histogram_count(id));
+            prop_assert_eq!(serial.histogram_sum(id), threaded.histogram_sum(id));
+        }
+        // Snapshots agree wholesale too: same catalog order, same values,
+        // including every bucket of every histogram.
+        prop_assert_eq!(expect.to_json(), got.to_json());
+    }
+}

@@ -1,0 +1,86 @@
+//! The disabled registry must be free in both senses: it records nothing,
+//! and the record paths allocate nothing. A counting global allocator makes
+//! the second claim testable — any heap traffic inside the measured window
+//! is a regression in the "observability off" cost story.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gcnt_obs::catalog::{counters, gauges, histograms};
+use gcnt_obs::{MetricsRegistry, SpanTimer};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn disabled_registry_records_nothing_and_allocates_nothing() {
+    let registry = MetricsRegistry::new();
+    assert!(!registry.is_enabled(), "registries start disabled");
+
+    let before = allocations();
+    for i in 0..1_000u64 {
+        registry.incr(counters::TENSOR_SPMM_CALLS);
+        registry.add(counters::TENSOR_SPMM_ROWS, i);
+        registry.gauge_set(gauges::CORE_TRAIN_LOSS, i as f64);
+        registry.gauge_max(gauges::SERVE_QUEUE_DEPTH_HIGH_WATER, i as f64);
+        registry.observe(histograms::DFT_FLOW_ITERATION_NS, i);
+        let span = SpanTimer::start(&registry, histograms::SERVE_JOURNAL_FSYNC_NS);
+        span.finish();
+    }
+    let after = allocations();
+
+    assert_eq!(after, before, "disabled record paths must not allocate");
+    assert_eq!(registry.counter(counters::TENSOR_SPMM_CALLS), 0);
+    assert_eq!(registry.counter(counters::TENSOR_SPMM_ROWS), 0);
+    assert_eq!(registry.gauge(gauges::CORE_TRAIN_LOSS), 0.0);
+    assert_eq!(registry.gauge(gauges::SERVE_QUEUE_DEPTH_HIGH_WATER), 0.0);
+    assert_eq!(
+        registry.histogram_count(histograms::DFT_FLOW_ITERATION_NS),
+        0
+    );
+    assert_eq!(registry.histogram_sum(histograms::DFT_FLOW_ITERATION_NS), 0);
+    assert_eq!(
+        registry.histogram_count(histograms::SERVE_JOURNAL_FSYNC_NS),
+        0
+    );
+}
+
+#[test]
+fn enabled_record_paths_do_not_allocate_either() {
+    // Not an acceptance requirement, but worth pinning: the hot record
+    // paths are pure atomic ops even when enabled; only snapshotting
+    // allocates.
+    let registry = MetricsRegistry::new();
+    registry.enable();
+
+    let before = allocations();
+    for i in 0..1_000u64 {
+        registry.incr(counters::TENSOR_SPMM_CALLS);
+        registry.add(counters::TENSOR_SPMM_ROWS, i);
+        registry.gauge_set(gauges::CORE_TRAIN_LOSS, i as f64);
+        registry.observe(histograms::DFT_FLOW_ITERATION_NS, i);
+    }
+    let after = allocations();
+
+    assert_eq!(after, before, "enabled record paths must not allocate");
+    assert_eq!(registry.counter(counters::TENSOR_SPMM_CALLS), 1_000);
+}

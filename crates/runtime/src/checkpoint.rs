@@ -300,6 +300,7 @@ impl CheckpointStore {
             detail: format!("envelope serialization failed: {e}"),
         })?;
         atomic_write(&path, bytes.as_bytes())?;
+        gcnt_obs::global().incr(gcnt_obs::counters::RUNTIME_CHECKPOINTS_WRITTEN);
         // Prune, never removing the file just written.
         let files = self.list()?;
         if files.len() > self.keep {
@@ -396,6 +397,7 @@ impl CheckpointStore {
                 report: Box::new(report),
             });
         }
+        gcnt_obs::global().incr(gcnt_obs::counters::RUNTIME_CHECKPOINTS_LOADED);
         Ok(state)
     }
 

@@ -335,6 +335,7 @@ impl<'a> TrainSession<'a> {
                 }
                 retries += 1;
                 lr *= self.guard.lr_backoff;
+                gcnt_obs::global().incr(gcnt_obs::counters::RUNTIME_ROLLBACKS);
                 rollbacks.push(RollbackEvent {
                     epoch,
                     cause,
@@ -402,6 +403,7 @@ impl<'a> TrainSession<'a> {
             return Some(DivergenceCause::NonFiniteGrad);
         }
         let norm = grads.l2_norm();
+        gcnt_obs::global().gauge_set(gcnt_obs::gauges::CORE_TRAIN_GRAD_NORM, f64::from(norm));
         if norm > self.guard.grad_limit {
             return Some(DivergenceCause::ExplodingGrad {
                 norm,

@@ -49,6 +49,9 @@ impl RetryPolicy {
                     .saturating_mul(1 << (attempt - 1).min(16));
                 std::thread::sleep(std::time::Duration::from_millis(pause));
             }
+            if attempt > 0 {
+                gcnt_obs::global().incr(gcnt_obs::counters::SERVE_RETRY_ATTEMPTS);
+            }
             match op() {
                 Ok(v) => return Ok(v),
                 Err(e) => last = e,
@@ -126,6 +129,7 @@ impl CircuitBreaker {
             BreakerState::Open { rejected } => {
                 if rejected + 1 >= self.cfg.cooldown_calls {
                     self.state = BreakerState::HalfOpen;
+                    gcnt_obs::global().incr(gcnt_obs::counters::SERVE_BREAKER_HALF_OPEN);
                     return Err(ServeError::BreakerOpen {
                         probes_until_half_open: 0,
                     });
@@ -142,6 +146,9 @@ impl CircuitBreaker {
 
     /// Reports that an admitted call succeeded; closes the breaker.
     pub fn on_success(&mut self) {
+        if !matches!(self.state, BreakerState::Closed { .. }) {
+            gcnt_obs::global().incr(gcnt_obs::counters::SERVE_BREAKER_CLOSED);
+        }
         self.state = BreakerState::Closed { failures: 0 };
     }
 
@@ -155,7 +162,10 @@ impl CircuitBreaker {
                     failures: failures + 1,
                 }
             }
-            _ => BreakerState::Open { rejected: 0 },
+            _ => {
+                gcnt_obs::global().incr(gcnt_obs::counters::SERVE_BREAKER_OPENED);
+                BreakerState::Open { rejected: 0 }
+            }
         };
     }
 

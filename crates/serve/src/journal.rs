@@ -241,10 +241,17 @@ impl FlowJournal {
     pub fn append(&mut self, rec: &BatchRecord) -> Result<u64, ServeError> {
         let io = |e: std::io::Error| ServeError::Journal(format!("{}: {e}", self.path.display()));
         let seq = self.next_seq;
-        self.file
+        let fsync_span = gcnt_obs::span(gcnt_obs::histograms::SERVE_JOURNAL_FSYNC_NS);
+        let write = self
+            .file
             .write_all(record_line(seq, rec).as_bytes())
-            .map_err(io)?;
-        self.file.sync_all().map_err(io)?;
+            .and_then(|()| self.file.sync_all());
+        if let Err(e) = write {
+            fsync_span.cancel();
+            return Err(io(e));
+        }
+        fsync_span.finish();
+        gcnt_obs::global().incr(gcnt_obs::counters::SERVE_JOURNAL_APPENDS);
         self.next_seq += 1;
         Ok(seq)
     }

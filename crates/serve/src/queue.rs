@@ -79,6 +79,7 @@ impl<T> BoundedQueue<T> {
             return Err((item, ServeError::WorkerGone));
         }
         if state.items.len() >= self.shared.capacity {
+            gcnt_obs::global().incr(gcnt_obs::counters::SERVE_ADMISSION_REJECTS);
             return Err((
                 item,
                 ServeError::Overloaded {
@@ -87,6 +88,12 @@ impl<T> BoundedQueue<T> {
             ));
         }
         state.items.push_back(item);
+        let obs = gcnt_obs::global();
+        if obs.is_enabled() {
+            let depth = state.items.len() as f64;
+            obs.gauge_set(gcnt_obs::gauges::SERVE_QUEUE_DEPTH, depth);
+            obs.gauge_max(gcnt_obs::gauges::SERVE_QUEUE_DEPTH_HIGH_WATER, depth);
+        }
         drop(state);
         self.shared.ready.notify_one();
         Ok(())
@@ -98,6 +105,10 @@ impl<T> BoundedQueue<T> {
         let mut state = self.shared.state.lock().expect("queue lock");
         loop {
             if let Some(item) = state.items.pop_front() {
+                gcnt_obs::global().gauge_set(
+                    gcnt_obs::gauges::SERVE_QUEUE_DEPTH,
+                    state.items.len() as f64,
+                );
                 return Some(item);
             }
             if state.closed {

@@ -198,10 +198,13 @@ impl ServeCore {
     ) -> Result<InferResponse, ServeError> {
         let admission_index = self.admitted;
         self.admitted += 1;
+        let obs = gcnt_obs::global();
+        obs.incr(gcnt_obs::counters::SERVE_REQUESTS);
         let data = GraphData::from_netlist(net, Some(&self.normalizer))
             .map_err(|e| ServeError::Load(format!("design `{}`: {e}", net.name())))?;
         let budget = self.budget_for(deadline);
         let poisoned = self.plan.take_cache_poison(admission_index);
+        let ladder_span = obs.is_enabled().then(std::time::Instant::now);
         let LadderResult {
             probs,
             rung,
@@ -213,6 +216,30 @@ impl ServeCore {
             &budget,
             poisoned,
         )?;
+        if let Some(started) = ladder_span {
+            let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let (rung_counter, rung_hist) = match rung {
+                Rung::Incremental => (
+                    gcnt_obs::counters::SERVE_RUNG_INCREMENTAL,
+                    gcnt_obs::histograms::SERVE_RUNG_INCREMENTAL_NS,
+                ),
+                Rung::FullSparse => (
+                    gcnt_obs::counters::SERVE_RUNG_FULL_SPARSE,
+                    gcnt_obs::histograms::SERVE_RUNG_FULL_SPARSE_NS,
+                ),
+                Rung::FirstStage => (
+                    gcnt_obs::counters::SERVE_RUNG_FIRST_STAGE,
+                    gcnt_obs::histograms::SERVE_RUNG_FIRST_STAGE_NS,
+                ),
+            };
+            obs.incr(rung_counter);
+            obs.observe(rung_hist, elapsed);
+            obs.add(gcnt_obs::counters::SERVE_RUNG_DROPS, dropped.len() as u64);
+            obs.observe(
+                gcnt_obs::histograms::SERVE_REQUEST_ROWS_SPENT,
+                budget.spent(),
+            );
+        }
         let threshold = self.config.prob_threshold;
         let positives = probs.iter().filter(|&&p| p >= threshold).count();
         Ok(InferResponse {
@@ -250,6 +277,10 @@ impl ServeCore {
         let recovered = FlowJournal::open(journal_path, &header)?;
         let mut journal = recovered.journal;
         let resumed_batches = recovered.records.len();
+        gcnt_obs::global().add(
+            gcnt_obs::counters::SERVE_JOURNAL_REPLAYED,
+            resumed_batches as u64,
+        );
         let budget = self.budget_for(deadline);
         let plan = &self.plan;
         let mut observer = |rec: &gcnt_dft::flow::BatchRecord| -> Result<(), FlowError> {

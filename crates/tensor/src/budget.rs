@@ -116,6 +116,7 @@ impl Budget {
     /// [`TensorError::BudgetExceeded`] if the charge overruns the cap.
     pub fn charge(&self, units: u64) -> Result<()> {
         if self.is_cancelled() {
+            gcnt_obs::global().incr(gcnt_obs::counters::TENSOR_BUDGET_CANCELS);
             return Err(TensorError::Cancelled);
         }
         let cost = units.saturating_mul(self.cost_multiplier);
@@ -123,6 +124,7 @@ impl Budget {
         if let Some(cap) = self.cap {
             let after = before.saturating_add(cost);
             if after > cap || (cost == 0 && before >= cap) {
+                gcnt_obs::global().incr(gcnt_obs::counters::TENSOR_BUDGET_STOPS);
                 return Err(TensorError::BudgetExceeded { spent: after, cap });
             }
         }

@@ -256,6 +256,15 @@ impl CsrMatrix {
                 rhs: rhs.shape(),
             });
         }
+        let obs = gcnt_obs::global();
+        if obs.is_enabled() {
+            obs.incr(gcnt_obs::counters::TENSOR_SPMM_CALLS);
+            obs.add(gcnt_obs::counters::TENSOR_SPMM_ROWS, self.rows as u64);
+            obs.add(
+                gcnt_obs::counters::TENSOR_SPMM_NNZ,
+                self.values.len() as u64,
+            );
+        }
         let n = rhs.cols();
         let mut out = Matrix::zeros(self.rows, n);
         let row_kernel = |(r, out_row): (usize, &mut [f32])| {
@@ -312,6 +321,16 @@ impl CsrMatrix {
                 index: (bad, 0),
                 shape: self.shape(),
             });
+        }
+        let obs = gcnt_obs::global();
+        if obs.is_enabled() {
+            obs.incr(gcnt_obs::counters::TENSOR_SPMM_CALLS);
+            obs.add(gcnt_obs::counters::TENSOR_SPMM_ROWS, rows.len() as u64);
+            let nnz: usize = rows
+                .iter()
+                .map(|&r| self.indptr[r + 1] - self.indptr[r])
+                .sum();
+            obs.add(gcnt_obs::counters::TENSOR_SPMM_NNZ, nnz as u64);
         }
         let n = rhs.cols();
         let mut out = Matrix::zeros(rows.len(), n);

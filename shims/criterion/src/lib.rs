@@ -8,12 +8,55 @@
 
 use std::fmt::Display;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Iterations used to measure each benchmark (after warmup).
 const MEASURE_ITERS: u32 = 10;
 /// Warmup iterations before measurement.
 const WARMUP_ITERS: u32 = 2;
+
+/// Measures a fixed reference workload and prints it as a `BENCH_CALIB`
+/// line. Downstream tooling (the repo's bench-gate comparator) divides each
+/// benchmark median by the calibration printed just before it, so baselines
+/// compare machine-speed-normalized ratios instead of raw nanoseconds — a
+/// slower or faster machine (CI runner churn, container throttling) cancels
+/// out, while a genuine regression in one benchmark does not.
+///
+/// Called once per benchmark report, not once per process: shared machines
+/// drift on a timescale of minutes, so only a contemporaneous calibration
+/// tracks the conditions the adjacent measurement actually ran under. The
+/// workload mixes float arithmetic with a multi-megabyte strided memory
+/// walk so it is exposed to the same cache/bandwidth contention as the
+/// sparse-matrix benchmarks it normalizes.
+fn calibration_ns() -> u64 {
+    // The walk buffer outlives one call so repeated calibrations do not
+    // re-pay page-fault cost; contents are irrelevant, footprint is not.
+    static BUF: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let mut buf = BUF.lock().unwrap_or_else(|e| e.into_inner());
+    if buf.is_empty() {
+        buf.resize(512 * 1024, 3); // 4 MiB of u64s, past typical L2
+    }
+    let mut samples = Vec::with_capacity(5);
+    for round in 0..5u64 {
+        let start = Instant::now();
+        let mut acc = 1.000_000_1f64;
+        let mut idx = (round as usize * 7919) % buf.len();
+        for i in 0u64..400_000 {
+            // Stride 67 words covers the buffer with poor locality, like a
+            // sparse gather; the float op keeps the FPU pipeline honest.
+            idx = (idx + 67) % buf.len();
+            acc = black_box(acc * 1.000_000_1 + (buf[idx] ^ i) as f64 * 1e-12);
+        }
+        black_box(acc);
+        samples.push(start.elapsed());
+    }
+    let ns = u64::try_from(median_of(&samples).as_nanos())
+        .unwrap_or(u64::MAX)
+        .max(1);
+    println!("BENCH_CALIB {{\"calib_ns\":{ns}}}");
+    ns
+}
 
 /// Prevents the optimizer from eliding a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
@@ -162,20 +205,47 @@ impl BenchmarkGroup<'_> {
             println!("{}/{id}: no samples", self.name);
             return;
         }
+        calibration_ns();
         let total: Duration = samples.iter().sum();
         let mean = total / samples.len() as u32;
         let min = samples.iter().min().copied().unwrap_or_default();
+        let median = median_of(samples);
         let tp = match self.throughput {
             Some(Throughput::Elements(n)) => format!(" [{n} elems/iter]"),
             Some(Throughput::Bytes(n)) => format!(" [{n} B/iter]"),
             None => String::new(),
         };
         println!(
-            "{}/{id}: mean {mean:?}, min {min:?} over {} iters{tp}",
+            "{}/{id}: mean {mean:?}, median {median:?}, min {min:?} over {} iters{tp}",
             self.name,
             samples.len()
         );
+        // Machine-readable twin of the line above. Tooling (the repo's
+        // bench-gate comparator) extracts these lines with
+        // `grep '^BENCH_JSON '`; the payload is a single flat JSON object.
+        println!(
+            "BENCH_JSON {{\"id\":\"{}/{}\",\"mean_ns\":{},\"median_ns\":{},\"min_ns\":{},\"iters\":{}}}",
+            json_escape(&self.name),
+            json_escape(id),
+            mean.as_nanos(),
+            median.as_nanos(),
+            min.as_nanos(),
+            samples.len()
+        );
     }
+}
+
+/// Median sample duration (upper median for even counts).
+fn median_of(samples: &[Duration]) -> Duration {
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+/// Escapes the characters JSON strings cannot hold raw; bench ids are
+/// plain identifiers in practice, so this stays minimal.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Top-level benchmark driver; mirrors criterion's entry type.

@@ -28,7 +28,17 @@ use gcn_testability::dft::labeler::{label_difficult_to_observe, LabelConfig};
 use gcn_testability::gcn::features::FeatureNormalizer;
 use gcn_testability::gcn::{GraphData, MultiStageConfig, MultiStageGcn};
 use gcn_testability::netlist::{format, generate, profile, GeneratorConfig, Netlist};
+use gcn_testability::report;
 use gcn_testability::runtime::{atomic_write, CheckpointStore, MultiStageTrainer};
+
+/// Handles `--metrics-out PATH`: enables the global metrics registry for
+/// the rest of the process and returns where to write snapshots. Must run
+/// before the instrumented work starts or the counters undercount.
+fn metrics_out(options: &HashMap<String, String>) -> Option<std::path::PathBuf> {
+    let path = options.get("metrics-out")?;
+    gcn_testability::obs::global().enable();
+    Some(std::path::PathBuf::from(path))
+}
 
 /// A trained model bundle: the cascade plus the feature normaliser it was
 /// trained with (both are required for inductive reuse).
@@ -89,12 +99,17 @@ fn print_usage() {
          \x20\x20\x20\x20 [--checkpoint-dir DIR] [--resume] [--checkpoint-every N] [--keep N]\n\
          \x20 gcnt infer design.bench --model model.json [--threshold F]\n\
          \x20 gcnt flow design.bench --model model.json [--out modified.bench] [--skip-budget N]\n\
-         \x20\x20\x20\x20 [--impact-mode full|incremental]\n\
+         \x20\x20\x20\x20 [--impact-mode full|incremental] [--metrics-out m.json]\n\
          \x20 gcnt atpg design.bench [--patterns N]\n\
          \x20 gcnt lint design.bench [--model model.json] [--format text|json]\n\
          \x20 gcnt serve --self-test [--journal-dir DIR] [--requests N] [--deadline ROWS]\n\
-         \x20\x20\x20\x20 [--faults plan.json]\n\
-         \x20 gcnt checkpoints DIR"
+         \x20\x20\x20\x20 [--faults plan.json] [--metrics-out m.json] [--metrics-every N]\n\
+         \x20 gcnt checkpoints DIR\n\
+         \n\
+         --metrics-out writes a metrics snapshot (JSON, or Prometheus text\n\
+         for .prom/.txt paths) at shutdown and, with --metrics-every N,\n\
+         every N serve requests. Machine-readable lines use the SELFTEST_*/\n\
+         METRICS_* prefix convention (see README, Observability)."
     );
 }
 
@@ -364,6 +379,7 @@ fn cmd_flow(
     positional: &[String],
     options: &HashMap<String, String>,
 ) -> Result<(), Box<dyn Error>> {
+    let metrics_path = metrics_out(options);
     let path = positional.first().ok_or("expected a design file")?;
     let mut net = load_design(path)?;
     let bundle = load_model(options)?;
@@ -415,6 +431,9 @@ fn cmd_flow(
     if let Some(out) = options.get("out") {
         atomic_write(out.as_ref(), format::write(&net).as_bytes())?;
         println!("wrote {out}");
+    }
+    if let Some(metrics) = metrics_path {
+        report::write_metrics_snapshot(&metrics)?;
     }
     Ok(())
 }
@@ -480,6 +499,12 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     if !options.contains_key("self-test") {
         return Err("gcnt serve currently supports --self-test only (see README)".into());
     }
+    // Snapshot cadence: every N admitted requests, plus once at shutdown.
+    // (Signal handling needs libc, which this workspace deliberately
+    // avoids; a service wrapper that wants SIGTERM snapshots sends the
+    // process a clean shutdown instead.)
+    let metrics_path = metrics_out(options);
+    let metrics_every = opt_usize(options, "metrics-every", 0) as u64;
     let plan = match options.get("faults") {
         Some(path) => load_fault_plan(path)?,
         None => FaultPlan::none(),
@@ -523,14 +548,22 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         for i in 0..requests {
             match handle.submit_infer(net.clone(), deadline) {
                 Err(ServeError::Overloaded { capacity }) => {
-                    println!("SELFTEST_OVERLOADED i={i} capacity={capacity}");
+                    report::selftest("OVERLOADED")
+                        .field("i", i)
+                        .field("capacity", capacity)
+                        .emit();
                 }
                 Err(e) => return Err(format!("expected Overloaded, got: {e}").into()),
                 Ok(_) => return Err("saturated queue admitted a request".into()),
             }
         }
         let core = handle.shutdown();
-        println!("SELFTEST_DONE admitted={}", core.admitted());
+        report::selftest("DONE")
+            .field("admitted", core.admitted())
+            .emit();
+        if let Some(metrics) = metrics_path {
+            report::write_metrics_snapshot(&metrics)?;
+        }
         return Ok(());
     }
 
@@ -552,28 +585,58 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let outcome_json = serde_json::to_string(&flow.outcome)?;
     let mut digest = outcome_json.into_bytes();
     digest.extend_from_slice(format::write(&flow_net).as_bytes());
-    println!(
-        "SELFTEST_FLOW records={} resumed={} torn_tail={} checksum={:016x}",
-        flow.journal_records,
-        flow.resumed_batches,
-        flow.recovered_torn_tail,
-        fnv1a64(&digest)
-    );
+    report::selftest("FLOW")
+        .field("records", flow.journal_records)
+        .field("resumed", flow.resumed_batches)
+        .field("torn_tail", flow.recovered_torn_tail)
+        .field("checksum", format_args!("{:016x}", fnv1a64(&digest)))
+        .emit();
 
     // Inference requests through the queue and the degradation ladder.
     let handle = ServeHandle::start(core);
     for i in 0..requests {
         let resp = handle.infer(net.clone(), deadline)?;
-        println!(
-            "SELFTEST_INFER i={i} rung={} dropped={} positives={} spent={}",
-            resp.rung,
-            resp.dropped.len(),
-            resp.positives,
-            resp.spent
-        );
+        report::selftest("INFER")
+            .field("i", i)
+            .field("rung", resp.rung)
+            .field("dropped", resp.dropped.len())
+            .field("positives", resp.positives)
+            .field("spent", resp.spent)
+            .emit();
+        if metrics_every > 0 && (i + 1) % metrics_every == 0 {
+            if let Some(metrics) = &metrics_path {
+                report::write_metrics_snapshot(metrics)?;
+            }
+        }
     }
     let core = handle.shutdown();
-    println!("SELFTEST_DONE admitted={}", core.admitted());
+
+    // One stable machine-readable digest of the run's own metrics: the
+    // schema-snapshot CI step asserts on these fields, and a human gets
+    // the reuse story without opening the snapshot file.
+    let obs = gcn_testability::obs::global();
+    use gcn_testability::obs::counters as c;
+    report::selftest("METRICS")
+        .field("enabled", obs.is_enabled())
+        .field("requests", obs.counter(c::SERVE_REQUESTS))
+        .field("spmm_rows", obs.counter(c::TENSOR_SPMM_ROWS))
+        .field("flow_rows_computed", obs.counter(c::DFT_FLOW_ROWS_COMPUTED))
+        .field("flow_rows_full", obs.counter(c::DFT_FLOW_ROWS_FULL))
+        .field("ops_inserted", obs.counter(c::DFT_FLOW_OPS_INSERTED))
+        .field("journal_appends", obs.counter(c::SERVE_JOURNAL_APPENDS))
+        .field("journal_replayed", obs.counter(c::SERVE_JOURNAL_REPLAYED))
+        .field("rung_incremental", obs.counter(c::SERVE_RUNG_INCREMENTAL))
+        .field("rung_full_sparse", obs.counter(c::SERVE_RUNG_FULL_SPARSE))
+        .field("rung_first_stage", obs.counter(c::SERVE_RUNG_FIRST_STAGE))
+        .emit();
+    report::selftest("DONE")
+        .field("admitted", core.admitted())
+        .emit();
+    // The shutdown snapshot — the journaled flow job, every request, and
+    // the ladder work above are all in it.
+    if let Some(metrics) = metrics_path {
+        report::write_metrics_snapshot(&metrics)?;
+    }
     Ok(())
 }
 

@@ -23,6 +23,8 @@
 //! | [`lint`] | cross-crate static analysis: netlist, tensor and model invariants with stable rule ids |
 //! | [`runtime`] | resilience: checksummed checkpoint/resume, divergence guards, fault injection |
 //! | [`serve`] | long-lived service: bounded admission, deadlines, degradation ladder, write-ahead journaled flow jobs |
+//! | [`obs`] | observability: global metrics registry, counters/gauges/histograms, JSON + Prometheus snapshots |
+//! | [`report`] | machine-readable CLI line convention (`SELFTEST_*`, `METRICS_*`) |
 //!
 //! ## Quickstart
 //!
@@ -45,12 +47,15 @@
 //! multi-stage classification, observation-point insertion and
 //! million-node inference.
 
+pub mod report;
+
 pub use gcnt_core as gcn;
 pub use gcnt_dft as dft;
 pub use gcnt_lint as lint;
 pub use gcnt_mlbase as mlbase;
 pub use gcnt_netlist as netlist;
 pub use gcnt_nn as nn;
+pub use gcnt_obs as obs;
 pub use gcnt_runtime as runtime;
 pub use gcnt_serve as serve;
 pub use gcnt_tensor as tensor;

@@ -1,0 +1,137 @@
+//! Machine-readable CLI reporting with a single stable prefix convention.
+//!
+//! Every line the `gcnt` binary emits for *machines* — CI greps, the
+//! kill/resume integration tests, the fault matrix — goes through this
+//! module, so the convention lives in exactly one place:
+//!
+//! * `SELFTEST_<EVENT> key=value ...` — one event of `gcnt serve
+//!   --self-test`. Existing events: `SELFTEST_FLOW`, `SELFTEST_INFER`,
+//!   `SELFTEST_OVERLOADED`, `SELFTEST_METRICS`, `SELFTEST_DONE`.
+//! * `METRICS_<EVENT> key=value ...` — metrics-snapshot bookkeeping.
+//!   Existing events: `METRICS_SNAPSHOT` (a snapshot file was written).
+//!
+//! Grammar, kept deliberately grep/awk-trivial:
+//!
+//! * one event per line, prefix first;
+//! * fields are space-separated `key=value` pairs, keys are
+//!   `[a-z_]+`, values contain no spaces;
+//! * field order within an event is fixed (append-only: new fields go
+//!   last, existing fields never move or disappear — CI pipelines pattern
+//!   match on them).
+//!
+//! Human-facing output (tables, summaries) does not come through here and
+//! carries no prefix.
+
+use std::error::Error;
+use std::fmt::Display;
+use std::path::Path;
+
+use gcnt_obs::Snapshot;
+
+/// Builder for one machine-readable line. Construct with [`selftest`] or
+/// [`metrics`], chain [`Line::field`], finish with [`Line::emit`].
+pub struct Line {
+    buf: String,
+}
+
+/// Starts a `SELFTEST_<event>` line.
+pub fn selftest(event: &str) -> Line {
+    Line {
+        buf: format!("SELFTEST_{event}"),
+    }
+}
+
+/// Starts a `METRICS_<event>` line.
+pub fn metrics(event: &str) -> Line {
+    Line {
+        buf: format!("METRICS_{event}"),
+    }
+}
+
+impl Line {
+    /// Appends one `key=value` field. `value` is rendered with `Display`;
+    /// it must not contain spaces (debug-asserted) or the line stops being
+    /// machine-parseable.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Display) -> Self {
+        let rendered = value.to_string();
+        debug_assert!(
+            !rendered.contains(' ') && !rendered.contains('\n'),
+            "report field value must be atomic: {key}={rendered}"
+        );
+        self.buf.push(' ');
+        self.buf.push_str(key);
+        self.buf.push('=');
+        self.buf.push_str(&rendered);
+        self
+    }
+
+    /// Prints the finished line to stdout.
+    pub fn emit(self) {
+        println!("{}", self.buf);
+    }
+
+    /// The finished line without printing it (used by tests).
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+/// Captures the global metrics registry and writes the snapshot to
+/// `path`, emitting a `METRICS_SNAPSHOT` line. The format follows the
+/// extension: `.prom` / `.txt` get Prometheus text exposition, anything
+/// else (conventionally `.json`) gets the JSON document.
+pub fn write_metrics_snapshot(path: &Path) -> Result<(), Box<dyn Error>> {
+    let snap = Snapshot::capture(gcnt_obs::global());
+    let (format, body) = match path.extension().and_then(|e| e.to_str()) {
+        Some("prom") | Some("txt") => ("prometheus", snap.to_prometheus()),
+        _ => ("json", snap.to_json()),
+    };
+    gcnt_runtime::atomic_write(path, body.as_bytes())
+        .map_err(|e| format!("cannot write metrics snapshot '{}': {e}", path.display()))?;
+    metrics("SNAPSHOT")
+        .field("path", path.display())
+        .field("format", format)
+        .emit();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_grammar_is_stable() {
+        let line = selftest("FLOW")
+            .field("records", 7)
+            .field("resumed", 0)
+            .field("torn_tail", false)
+            .field("checksum", format_args!("{:016x}", 0xabcd_u64))
+            .into_string();
+        assert_eq!(
+            line,
+            "SELFTEST_FLOW records=7 resumed=0 torn_tail=false checksum=000000000000abcd"
+        );
+        assert_eq!(
+            metrics("SNAPSHOT").field("path", "m.json").into_string(),
+            "METRICS_SNAPSHOT path=m.json"
+        );
+    }
+
+    #[test]
+    fn snapshot_file_format_follows_extension() {
+        let dir = std::env::temp_dir().join(format!("gcnt-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("m.json");
+        let prom = dir.join("m.prom");
+        write_metrics_snapshot(&json).unwrap();
+        write_metrics_snapshot(&prom).unwrap();
+        let json_text = std::fs::read_to_string(&json).unwrap();
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        assert!(json_text.starts_with('{'));
+        assert!(json_text.contains("\"gcnt_tensor_spmm_rows_total\""));
+        assert!(prom_text.starts_with("# HELP "));
+        assert!(prom_text.contains("# TYPE gcnt_serve_journal_fsync_ns histogram"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,76 @@
+//! The metric schema is a CI-guarded contract: every snapshot emits every
+//! catalog metric (zeroes included), in a key set that must match the
+//! committed golden list exactly. Renaming, adding, or removing a metric is
+//! allowed — but only together with an intentional edit to
+//! `tests/golden/metrics_keys.txt`, so dashboards and the CI schema step
+//! never drift silently.
+
+use std::collections::BTreeSet;
+
+use gcn_testability::obs::{MetricsRegistry, Snapshot};
+
+const GOLDEN: &str = include_str!("golden/metrics_keys.txt");
+
+/// `kind name` lines, exactly as the golden file records them.
+fn snapshot_keys() -> BTreeSet<String> {
+    let snapshot = Snapshot::capture(&MetricsRegistry::new());
+    let mut keys = BTreeSet::new();
+    for (name, _) in &snapshot.counters {
+        keys.insert(format!("counter {name}"));
+    }
+    for (name, _) in &snapshot.gauges {
+        keys.insert(format!("gauge {name}"));
+    }
+    for hist in &snapshot.histograms {
+        keys.insert(format!("histogram {}", hist.name));
+    }
+    keys
+}
+
+#[test]
+fn snapshot_key_set_matches_golden_list() {
+    let golden: BTreeSet<String> = GOLDEN
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    let actual = snapshot_keys();
+
+    let missing: Vec<_> = golden.difference(&actual).collect();
+    let unexpected: Vec<_> = actual.difference(&golden).collect();
+    assert!(
+        missing.is_empty() && unexpected.is_empty(),
+        "metric schema drifted from tests/golden/metrics_keys.txt\n\
+         missing from snapshot: {missing:?}\n\
+         not in golden list:    {unexpected:?}\n\
+         If the change is intentional, update the golden file."
+    );
+}
+
+#[test]
+fn json_and_prometheus_expose_the_same_metrics() {
+    let registry = MetricsRegistry::new();
+    let snapshot = Snapshot::capture(&registry);
+    let json = snapshot.to_json();
+    let prom = snapshot.to_prometheus();
+    for (name, _) in &snapshot.counters {
+        assert!(
+            json.contains(&format!("\"{name}\"")),
+            "{name} missing in JSON"
+        );
+        assert!(prom.contains(name), "{name} missing in Prometheus text");
+    }
+    for hist in &snapshot.histograms {
+        assert!(
+            json.contains(&format!("\"{}\"", hist.name)),
+            "{} missing in JSON",
+            hist.name
+        );
+        assert!(
+            prom.contains(&format!("{}_bucket", hist.name)),
+            "{} buckets missing in Prometheus text",
+            hist.name
+        );
+    }
+}
