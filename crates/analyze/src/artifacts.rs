@@ -1,0 +1,472 @@
+//! Cross-artifact consistency rules (`SA601`–`SA604`).
+//!
+//! The repo commits several generated-looking artifacts next to the code
+//! that defines them: the golden metric-key list, the bench baseline,
+//! the README rule tables, the changelog. Each pair can drift silently —
+//! a metric renamed but the golden stale, a bench added but never gated,
+//! a lint rule undocumented. These rules re-derive each artifact's
+//! expected content from its source of truth and report the diff.
+//!
+//! Everything here parses *text* with the same light touch as the rest
+//! of the analyzer: no serde, no syn — the formats are all
+//! machine-written and line-regular, and a parse miss degrades into a
+//! reported inconsistency rather than a crash.
+
+use std::collections::BTreeSet;
+
+use crate::registry::{RuleId, RULES};
+use crate::report::Finding;
+
+/// The artifact texts the rules compare. `None` means the file is
+/// missing, which is itself reported.
+#[derive(Debug, Default)]
+pub struct Artifacts {
+    /// `crates/obs/src/catalog.rs`.
+    pub catalog: Option<String>,
+    /// `tests/golden/metrics_keys.txt`.
+    pub metrics_keys: Option<String>,
+    /// `BENCH_baseline.json`.
+    pub bench_baseline: Option<String>,
+    /// `(path, text)` of every file under `crates/bench/benches/`.
+    pub bench_sources: Vec<(String, String)>,
+    /// `crates/lint/src/registry.rs`.
+    pub lint_registry: Option<String>,
+    /// `README.md`.
+    pub readme: Option<String>,
+    /// `CHANGES.md`.
+    pub changes: Option<String>,
+}
+
+/// Runs all artifact rules.
+pub fn check_artifacts(a: &Artifacts) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_metrics_keys(a, &mut findings);
+    check_bench_baseline(a, &mut findings);
+    check_rule_tables(a, &mut findings);
+    check_changes_log(a, &mut findings);
+    findings
+}
+
+fn missing(rule: RuleId, path: &str, findings: &mut Vec<Finding>) {
+    findings.push(Finding::new(
+        rule,
+        path,
+        0,
+        "expected artifact file is missing",
+    ));
+}
+
+/// `SA601`: the metric catalog re-derived from the `declare_*!` blocks
+/// must equal the committed golden key list, entry for entry.
+fn check_metrics_keys(a: &Artifacts, findings: &mut Vec<Finding>) {
+    let (Some(catalog), Some(golden)) = (&a.catalog, &a.metrics_keys) else {
+        if a.catalog.is_none() {
+            missing(
+                RuleId::ArtifactMetricsKeys,
+                "crates/obs/src/catalog.rs",
+                findings,
+            );
+        }
+        if a.metrics_keys.is_none() {
+            missing(
+                RuleId::ArtifactMetricsKeys,
+                "tests/golden/metrics_keys.txt",
+                findings,
+            );
+        }
+        return;
+    };
+    // Walk the catalog: entering a declare block sets the kind; an
+    // `=> "gcnt_...` line declares one metric of that kind.
+    let mut expected: BTreeSet<String> = BTreeSet::new();
+    let mut kind: Option<&str> = None;
+    for line in catalog.lines() {
+        for (mac, k) in [
+            ("declare_counters!", "counter"),
+            ("declare_gauges!", "gauge"),
+            ("declare_histograms!", "histogram"),
+        ] {
+            // The macro *definitions* mention these names too; only the
+            // invocation line `declare_x! {` opens a block.
+            if line.trim_start().starts_with(mac) && line.contains('{') {
+                kind = Some(k);
+            }
+        }
+        if line.trim_start().starts_with('}') && !line.contains('{') {
+            kind = None;
+        }
+        if let (Some(k), Some(pos)) = (kind, line.find("=> \"gcnt_")) {
+            let rest = &line[pos + 4..];
+            if let Some(end) = rest.find('"') {
+                expected.insert(format!("{k} {}", &rest[..end]));
+            }
+        }
+    }
+    let actual: BTreeSet<String> = golden
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(String::from)
+        .collect();
+    for key in expected.difference(&actual) {
+        findings.push(Finding::new(
+            RuleId::ArtifactMetricsKeys,
+            "tests/golden/metrics_keys.txt",
+            0,
+            format!("catalog declares `{key}` but the golden list lacks it"),
+        ));
+    }
+    for key in actual.difference(&expected) {
+        findings.push(Finding::new(
+            RuleId::ArtifactMetricsKeys,
+            "tests/golden/metrics_keys.txt",
+            0,
+            format!("golden list has `{key}` but the catalog does not declare it"),
+        ));
+    }
+}
+
+/// `SA602`: every baseline entry must correspond to a bench the suites
+/// can produce, and every literal bench in a *gated* group (one present
+/// in the baseline) must be gated by a baseline entry.
+fn check_bench_baseline(a: &Artifacts, findings: &mut Vec<Finding>) {
+    let Some(baseline) = &a.bench_baseline else {
+        missing(
+            RuleId::ArtifactBenchBaseline,
+            "BENCH_baseline.json",
+            findings,
+        );
+        return;
+    };
+    let mut baseline_ids = BTreeSet::new();
+    for line in baseline.lines() {
+        if let Some(pos) = line.find("\"id\": \"") {
+            let rest = &line[pos + 7..];
+            if let Some(end) = rest.find('"') {
+                baseline_ids.insert(rest[..end].to_string());
+            }
+        }
+    }
+    // Walk the bench sources: the last `benchmark_group("...")` literal
+    // owns subsequent `bench_function` calls; a non-literal first
+    // argument marks the group as dynamically named.
+    let mut literal: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut dynamic_groups: BTreeSet<String> = BTreeSet::new();
+    let mut known_groups: BTreeSet<String> = BTreeSet::new();
+    for (_, text) in &a.bench_sources {
+        let mut group = String::new();
+        for line in text.lines() {
+            if let Some(pos) = line.find("benchmark_group(\"") {
+                let rest = &line[pos + 17..];
+                if let Some(end) = rest.find('"') {
+                    group = rest[..end].to_string();
+                    known_groups.insert(group.clone());
+                }
+            }
+            if let Some(pos) = line.find("bench_function(") {
+                let rest = &line[pos + 15..];
+                if let Some(name) = rest.strip_prefix('"') {
+                    if let Some(end) = name.find('"') {
+                        literal.insert((group.clone(), name[..end].to_string()));
+                    }
+                } else if !group.is_empty() {
+                    dynamic_groups.insert(group.clone());
+                }
+            }
+        }
+    }
+    let gated_groups: BTreeSet<&str> = baseline_ids
+        .iter()
+        .filter_map(|id| id.split_once('/').map(|(g, _)| g))
+        .collect();
+    for id in &baseline_ids {
+        let Some((group, name)) = id.split_once('/') else {
+            findings.push(Finding::new(
+                RuleId::ArtifactBenchBaseline,
+                "BENCH_baseline.json",
+                0,
+                format!("entry `{id}` is not of the form group/name"),
+            ));
+            continue;
+        };
+        if !known_groups.contains(group) {
+            findings.push(Finding::new(
+                RuleId::ArtifactBenchBaseline,
+                "BENCH_baseline.json",
+                0,
+                format!("entry `{id}`: no bench declares group `{group}`"),
+            ));
+        } else if !literal.contains(&(group.to_string(), name.to_string()))
+            && !dynamic_groups.contains(group)
+        {
+            findings.push(Finding::new(
+                RuleId::ArtifactBenchBaseline,
+                "BENCH_baseline.json",
+                0,
+                format!("entry `{id}`: group `{group}` has no such bench"),
+            ));
+        }
+    }
+    for (group, name) in &literal {
+        if gated_groups.contains(group.as_str())
+            && !baseline_ids.contains(&format!("{group}/{name}"))
+        {
+            findings.push(Finding::new(
+                RuleId::ArtifactBenchBaseline,
+                "BENCH_baseline.json",
+                0,
+                format!("bench `{group}/{name}` exists but the gated baseline lacks it"),
+            ));
+        }
+    }
+}
+
+/// `SA603`: every rule code in the lint registry and in this analyzer's
+/// own registry must appear in a README table row, and every code-shaped
+/// name in a README table must resolve to a real rule.
+fn check_rule_tables(a: &Artifacts, findings: &mut Vec<Finding>) {
+    let Some(readme) = &a.readme else {
+        missing(RuleId::ArtifactRuleTable, "README.md", findings);
+        return;
+    };
+    let mut known: BTreeSet<String> = RULES.iter().map(|r| r.code.to_string()).collect();
+    if let Some(lint) = &a.lint_registry {
+        for line in lint.lines() {
+            if let Some(pos) = line.find("code: \"") {
+                let rest = &line[pos + 7..];
+                if let Some(end) = rest.find('"') {
+                    let code = &rest[..end];
+                    if is_rule_code(code) {
+                        known.insert(code.to_string());
+                    }
+                }
+            }
+        }
+    } else {
+        missing(
+            RuleId::ArtifactRuleTable,
+            "crates/lint/src/registry.rs",
+            findings,
+        );
+    }
+    let mut documented: BTreeSet<String> = BTreeSet::new();
+    for line in readme.lines() {
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        for chunk in line.split('`').skip(1).step_by(2) {
+            if is_rule_code(chunk) {
+                documented.insert(chunk.to_string());
+            }
+        }
+    }
+    for code in known.difference(&documented) {
+        findings.push(Finding::new(
+            RuleId::ArtifactRuleTable,
+            "README.md",
+            0,
+            format!("rule `{code}` is not documented in a README table"),
+        ));
+    }
+    for code in documented.difference(&known) {
+        findings.push(Finding::new(
+            RuleId::ArtifactRuleTable,
+            "README.md",
+            0,
+            format!("README documents `{code}` but no registry defines it"),
+        ));
+    }
+}
+
+/// `SA604`: `- PR N` entries in the changelog must count 1, 2, 3, …
+fn check_changes_log(a: &Artifacts, findings: &mut Vec<Finding>) {
+    let Some(changes) = &a.changes else {
+        missing(RuleId::ArtifactChangesLog, "CHANGES.md", findings);
+        return;
+    };
+    let mut expected = 1usize;
+    for (i, line) in changes.lines().enumerate() {
+        let Some(rest) = line.strip_prefix("- PR ") else {
+            continue;
+        };
+        let num: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        match num.parse::<usize>() {
+            Ok(n) if n == expected => expected += 1,
+            Ok(n) => findings.push(Finding::new(
+                RuleId::ArtifactChangesLog,
+                "CHANGES.md",
+                i + 1,
+                format!("PR entry numbered {n}, expected {expected}"),
+            )),
+            Err(_) => findings.push(Finding::new(
+                RuleId::ArtifactChangesLog,
+                "CHANGES.md",
+                i + 1,
+                "PR entry has no number".to_string(),
+            )),
+        }
+    }
+    if expected == 1 {
+        findings.push(Finding::new(
+            RuleId::ArtifactChangesLog,
+            "CHANGES.md",
+            0,
+            "no `- PR N` entries found".to_string(),
+        ));
+    }
+}
+
+/// `XX###`-shaped rule code: two to three uppercase letters then three
+/// digits.
+fn is_rule_code(s: &str) -> bool {
+    let letters = s.chars().take_while(char::is_ascii_uppercase).count();
+    (2..=3).contains(&letters)
+        && s.len() == letters + 3
+        && s[letters..].chars().all(|c| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CATALOG: &str = "declare_counters! {\n\
+        A => \"gcnt_a_total\", \"help\";\n\
+        B => \"gcnt_b_total\", \"help\";\n\
+        }\n\
+        declare_gauges! {\n\
+        G => \"gcnt_g\", \"help\";\n\
+        }\n";
+
+    fn base() -> Artifacts {
+        Artifacts {
+            catalog: Some(CATALOG.to_string()),
+            metrics_keys: Some(
+                "counter gcnt_a_total\ncounter gcnt_b_total\ngauge gcnt_g\n".to_string(),
+            ),
+            bench_baseline: Some(
+                "\"id\": \"flow/fast\",\n\"id\": \"serve/dyn_deadline_10\",\n".to_string(),
+            ),
+            bench_sources: vec![
+                (
+                    "crates/bench/benches/flow.rs".to_string(),
+                    "c.benchmark_group(\"flow\");\ngroup.bench_function(\"fast\", |b| {});\n"
+                        .to_string(),
+                ),
+                (
+                    "crates/bench/benches/serve.rs".to_string(),
+                    "c.benchmark_group(\"serve\");\ngroup.bench_function(name, |b| {});\n\
+                     c.benchmark_group(\"ungated\");\ngroup.bench_function(\"free\", |b| {});\n"
+                        .to_string(),
+                ),
+            ],
+            lint_registry: Some("code: \"NL001\",\ncode: \"JN002\",\n".to_string()),
+            readme: Some(readme_with(&["NL001", "JN002"])),
+            changes: Some("- PR 1 (x): a\n- PR 2 (y): b\n".to_string()),
+        }
+    }
+
+    fn readme_with(extra: &[&str]) -> String {
+        let mut s = String::from("| Rule | Checks |\n");
+        for desc in RULES {
+            s.push_str(&format!("| `{}` | x |\n", desc.code));
+        }
+        for code in extra {
+            s.push_str(&format!("| `{code}` | x |\n"));
+        }
+        s
+    }
+
+    #[test]
+    fn consistent_artifacts_are_clean() {
+        let findings = check_artifacts(&base());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn metric_drift_fires_both_ways() {
+        let mut a = base();
+        a.metrics_keys = Some("counter gcnt_a_total\ncounter gcnt_stale_total\n".to_string());
+        let findings = check_artifacts(&a);
+        let msgs: Vec<&str> = findings
+            .iter()
+            .filter(|f| f.rule == RuleId::ArtifactMetricsKeys)
+            .map(|f| f.message.as_str())
+            .collect();
+        assert_eq!(msgs.len(), 3, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("gcnt_b_total")));
+        assert!(msgs.iter().any(|m| m.contains("gcnt_stale_total")));
+        assert!(msgs.iter().any(|m| m.contains("gauge gcnt_g")));
+    }
+
+    #[test]
+    fn bench_drift_is_caught() {
+        // A baseline entry no bench can produce.
+        let mut a = base();
+        a.bench_baseline = Some("\"id\": \"flow/gone\",\n".to_string());
+        assert!(check_artifacts(&a)
+            .iter()
+            .any(|f| f.rule == RuleId::ArtifactBenchBaseline && f.message.contains("flow/gone")));
+        // A literal bench in a gated group missing from the baseline.
+        let mut a = base();
+        a.bench_baseline = Some("\"id\": \"flow/other\",\n".to_string());
+        a.bench_sources[0]
+            .1
+            .push_str("group.bench_function(\"other\", |b| {});\n");
+        assert!(check_artifacts(&a)
+            .iter()
+            .any(|f| f.message.contains("`flow/fast` exists")));
+        // Dynamic names satisfy baseline entries; ungated groups are free.
+        assert!(check_artifacts(&base()).is_empty());
+    }
+
+    #[test]
+    fn undocumented_rule_is_caught() {
+        let mut a = base();
+        a.readme = Some(readme_with(&["NL001"])); // JN002 row dropped
+        let findings = check_artifacts(&a);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RuleId::ArtifactRuleTable && f.message.contains("JN002")));
+        // And the reverse: a documented ghost rule.
+        let mut a = base();
+        a.readme = Some(readme_with(&["NL001", "JN002", "ZZ999"]));
+        assert!(check_artifacts(&a)
+            .iter()
+            .any(|f| f.message.contains("ZZ999")));
+    }
+
+    #[test]
+    fn changes_numbering_is_checked() {
+        let mut a = base();
+        a.changes = Some("- PR 1 (x): a\n- PR 3 (y): b\n".to_string());
+        let findings = check_artifacts(&a);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RuleId::ArtifactChangesLog && f.line == 2));
+    }
+
+    #[test]
+    fn missing_artifacts_are_reported() {
+        let a = Artifacts::default();
+        let findings = check_artifacts(&a);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RuleId::ArtifactMetricsKeys));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RuleId::ArtifactBenchBaseline));
+        assert!(findings.iter().any(|f| f.rule == RuleId::ArtifactRuleTable));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RuleId::ArtifactChangesLog));
+    }
+
+    #[test]
+    fn rule_code_shape() {
+        assert!(is_rule_code("SA101"));
+        assert!(is_rule_code("NL001"));
+        assert!(!is_rule_code("gcnt_x"));
+        assert!(!is_rule_code("SA1"));
+        assert!(!is_rule_code("SAXX1"));
+    }
+}

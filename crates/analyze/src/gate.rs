@@ -1,0 +1,270 @@
+//! The allowlist + ratchet gate for the panic-policy rules.
+//!
+//! Two committed files govern legacy debt:
+//!
+//! * `ANALYZE_allowlist.txt` — one line per *permanently justified*
+//!   site: `SA102 crates/tensor/src/coo.rs <code substring> -- <why>`
+//!   (documented-panic APIs and the like). A matching site is excluded
+//!   from analysis entirely; an entry matching no site is itself a
+//!   finding (`SA605`), so fixed code must shed its exemption.
+//! * `ANALYZE_ratchet.txt` — one line per ratcheted rule:
+//!   `SA101 <count>`, the number of non-allowlisted legacy sites. Debt
+//!   within the budget is tolerated silently; one site more and the rule
+//!   errors (with the sites listed); falling below the budget is a
+//!   `SA606` warning prompting `--ratchet-update` to bank the win. CI
+//!   diffs the file, so the counts only move down in review.
+//!
+//! The split matters: the allowlist names the sites that will *never*
+//! be fixed (with a written reason each), the ratchet squeezes the ones
+//! that eventually should.
+
+use std::collections::BTreeMap;
+
+use crate::registry::{from_code, rule, RuleId};
+use crate::report::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule this entry exempts.
+    pub rule: RuleId,
+    /// Repo-relative path the exempted site lives in.
+    pub path: String,
+    /// Substring of the site's scrubbed code line.
+    pub pattern: String,
+    /// Required one-line justification.
+    pub justification: String,
+    /// 1-based line in the allowlist file (for stale reporting).
+    pub line: usize,
+}
+
+/// The parsed gate files plus usage tracking for staleness.
+#[derive(Debug, Default)]
+pub struct Gate {
+    entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+    ratchet: BTreeMap<RuleId, usize>,
+}
+
+/// Rules whose site totals are ratcheted.
+pub const RATCHETED: &[RuleId] = &[
+    RuleId::PanicUnwrap,
+    RuleId::PanicExpect,
+    RuleId::PanicMacro,
+    RuleId::PanicIndex,
+];
+
+impl Gate {
+    /// Parses the two gate files. Either may be empty (missing files are
+    /// passed through as `""`). Returns a message naming the bad line on
+    /// malformed input.
+    pub fn parse(allowlist: &str, ratchet: &str) -> Result<Gate, String> {
+        let mut gate = Gate::default();
+        for (i, raw) in allowlist.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (head, justification) = line
+                .split_once(" -- ")
+                .ok_or_else(|| format!("allowlist line {}: missing ` -- <why>`", i + 1))?;
+            let mut toks = head.splitn(3, char::is_whitespace);
+            let code = toks.next().unwrap_or("");
+            let path = toks.next().unwrap_or("");
+            let pattern = toks.next().unwrap_or("").trim();
+            let rule_id = from_code(code)
+                .ok_or_else(|| format!("allowlist line {}: unknown rule `{code}`", i + 1))?;
+            if path.is_empty() || pattern.is_empty() || justification.trim().is_empty() {
+                return Err(format!(
+                    "allowlist line {}: want `RULE path pattern -- why`",
+                    i + 1
+                ));
+            }
+            gate.entries.push(AllowEntry {
+                rule: rule_id,
+                path: path.to_string(),
+                pattern: pattern.to_string(),
+                justification: justification.trim().to_string(),
+                line: i + 1,
+            });
+        }
+        gate.used = vec![false; gate.entries.len()];
+        for (i, raw) in ratchet.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (code, count) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("ratchet line {}: want `RULE count`", i + 1))?;
+            let rule_id = from_code(code)
+                .ok_or_else(|| format!("ratchet line {}: unknown rule `{code}`", i + 1))?;
+            let n: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("ratchet line {}: bad count `{count}`", i + 1))?;
+            if !RATCHETED.contains(&rule_id) {
+                return Err(format!("ratchet line {}: `{code}` is not ratcheted", i + 1));
+            }
+            gate.ratchet.insert(rule_id, n);
+        }
+        Ok(gate)
+    }
+
+    /// Whether an entry exempts this site; marks the entry used.
+    pub fn allows(&mut self, rule_id: RuleId, path: &str, code_line: &str) -> bool {
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.rule == rule_id && e.path == path && code_line.contains(&e.pattern) {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The ratcheted rules whose current totals exceed their budgets —
+    /// the caller reports those rules' individual sites.
+    pub fn exceeded(&self, totals: &BTreeMap<RuleId, usize>) -> Vec<RuleId> {
+        RATCHETED
+            .iter()
+            .copied()
+            .filter(|id| {
+                totals.get(id).copied().unwrap_or(0) > self.ratchet.get(id).copied().unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Closes the gate: reports stale allowlist entries (`SA605`),
+    /// ratchet regressions (error, attributed to the ratcheted rule) and
+    /// unbanked improvements (`SA606`). `totals` are the per-rule counts
+    /// of non-allowlisted sites.
+    pub fn finish(&self, totals: &BTreeMap<RuleId, usize>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if !self.used[i] {
+                findings.push(Finding::new(
+                    RuleId::AllowlistStale,
+                    "ANALYZE_allowlist.txt",
+                    e.line,
+                    format!(
+                        "entry `{} {} {}` matches no current site — remove it",
+                        rule(e.rule).code,
+                        e.path,
+                        e.pattern
+                    ),
+                ));
+            }
+        }
+        for &id in RATCHETED {
+            let actual = totals.get(&id).copied().unwrap_or(0);
+            let budget = self.ratchet.get(&id).copied().unwrap_or(0);
+            if actual > budget {
+                findings.push(Finding::new(
+                    id,
+                    "ANALYZE_ratchet.txt",
+                    0,
+                    format!(
+                        "{} sites of {} exceed the ratcheted budget of {}",
+                        actual,
+                        rule(id).slug,
+                        budget
+                    ),
+                ));
+            } else if actual < budget {
+                findings.push(Finding::new(
+                    RuleId::RatchetStale,
+                    "ANALYZE_ratchet.txt",
+                    0,
+                    format!(
+                        "{} is down to {} sites (ratchet says {}) — run `gcnt analyze --ratchet-update`",
+                        rule(id).code,
+                        actual,
+                        budget
+                    ),
+                ));
+            }
+        }
+        findings
+    }
+
+    /// Serializes current totals as the new ratchet file contents.
+    pub fn serialize_ratchet(totals: &BTreeMap<RuleId, usize>) -> String {
+        let mut out = String::from(
+            "# Ratcheted panic-policy site counts (non-allowlisted legacy sites).\n\
+             # Regenerate with `gcnt analyze --ratchet-update`; counts may only go down.\n",
+        );
+        for &id in RATCHETED {
+            let n = totals.get(&id).copied().unwrap_or(0);
+            out.push_str(&format!("{} {}\n", rule(id).code, n));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALLOW: &str = "# comment\n\
+        SA102 crates/tensor/src/coo.rs self.try_push(r, c, v).expect -- documented-panic API\n";
+    const RATCHET: &str = "# comment\nSA101 2\n";
+
+    #[test]
+    fn parses_and_matches() {
+        let mut gate = Gate::parse(ALLOW, RATCHET).unwrap();
+        assert!(gate.allows(
+            RuleId::PanicExpect,
+            "crates/tensor/src/coo.rs",
+            "        self.try_push(r, c, v).expect(\"\");"
+        ));
+        assert!(!gate.allows(
+            RuleId::PanicExpect,
+            "crates/tensor/src/csr.rs",
+            "self.try_push(r, c, v).expect(\"\");"
+        ));
+        let findings = gate.finish(&BTreeMap::from([(RuleId::PanicUnwrap, 2)]));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn stale_entry_is_reported() {
+        let gate = Gate::parse(ALLOW, RATCHET).unwrap();
+        let findings = gate.finish(&BTreeMap::from([(RuleId::PanicUnwrap, 2)]));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::AllowlistStale);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn ratchet_over_and_under() {
+        let gate = Gate::parse("", "SA101 3\n").unwrap();
+        let over = gate.finish(&BTreeMap::from([(RuleId::PanicUnwrap, 4)]));
+        assert!(over.iter().any(|f| f.rule == RuleId::PanicUnwrap));
+        assert_eq!(
+            gate.exceeded(&BTreeMap::from([(RuleId::PanicUnwrap, 4)])),
+            vec![RuleId::PanicUnwrap]
+        );
+        let under = gate.finish(&BTreeMap::from([(RuleId::PanicUnwrap, 1)]));
+        assert!(under.iter().any(|f| f.rule == RuleId::RatchetStale));
+        assert!(gate
+            .exceeded(&BTreeMap::from([(RuleId::PanicUnwrap, 1)]))
+            .is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_named() {
+        assert!(Gate::parse("SA101 path pat\n", "").is_err());
+        assert!(Gate::parse("SA999 p x -- y\n", "").is_err());
+        assert!(Gate::parse("", "SA201 4\n").is_err());
+        assert!(Gate::parse("", "SA101 many\n").is_err());
+    }
+
+    #[test]
+    fn ratchet_serializes_all_ratcheted_rules() {
+        let text = Gate::serialize_ratchet(&BTreeMap::from([(RuleId::PanicUnwrap, 7)]));
+        assert!(text.contains("SA101 7"));
+        assert!(text.contains("SA104 0"));
+        // Round-trips through the parser.
+        assert!(Gate::parse("", &text).is_ok());
+    }
+}

@@ -1,0 +1,271 @@
+//! Source-hygiene rules: `unsafe` comments (`SA201`), atomics orderings
+//! (`SA301`/`SA302`), truncating casts (`SA401`), and fault-injection
+//! feature gating (`SA501`).
+//!
+//! Unlike the panic policy these are not ratcheted — they hold
+//! repo-wide (tests included, where noted) and a justification comment
+//! on or just above the site is the only exemption:
+//!
+//! * `// SAFETY:` for `unsafe`,
+//! * `// ORDERING:` for a non-default atomic ordering,
+//! * `// CAST:` for a truncating `as` cast in index math.
+
+use crate::registry::RuleId;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// How many lines above a site a justification comment may sit.
+const JUSTIFY_WINDOW: usize = 3;
+
+/// Runs all hygiene rules over `files`.
+pub fn check_hygiene(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        check_unsafe(file, &mut findings);
+        check_atomics(file, &mut findings);
+        if file.path.starts_with("crates/tensor/src/") {
+            check_casts(file, &mut findings);
+        }
+        if file.path == "crates/runtime/src/fault.rs" {
+            check_fault_gating(file, &mut findings);
+        }
+    }
+    findings
+}
+
+/// `SA201`: every `unsafe` keyword (blocks, fns, impls — tests
+/// included; unsoundness does not care where it lives) needs a
+/// `// SAFETY:` comment on the line or within the window above it.
+fn check_unsafe(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for i in 0..file.lines.len() {
+        let code = &file.lines[i].code;
+        if has_word(code, "unsafe") && !file.justified(i, JUSTIFY_WINDOW, "SAFETY:") {
+            findings.push(Finding::new(
+                RuleId::UnsafeMissingSafetyComment,
+                &file.path,
+                i + 1,
+                "`unsafe` without an adjacent `// SAFETY:` comment",
+            ));
+        }
+    }
+}
+
+/// `SA301` repo-wide: `SeqCst` is the sledgehammer ordering and nothing
+/// in this workspace needs it — any use must say why with
+/// `// ORDERING:`. `SA302` in `crates/obs/src`: the metric record paths
+/// promise "a plain load and a predictable branch", so Acquire/Release
+/// there also need an `// ORDERING:` justification. `SeqCst` inside obs
+/// fires only `SA301` (the stronger complaint), not both.
+fn check_atomics(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let in_obs = file.path.starts_with("crates/obs/src/");
+    for i in 0..file.lines.len() {
+        let code = &file.lines[i].code;
+        let justified = file.justified(i, JUSTIFY_WINDOW, "ORDERING:");
+        if code.contains("Ordering::SeqCst") && !justified {
+            findings.push(Finding::new(
+                RuleId::AtomicsSeqCstUnjustified,
+                &file.path,
+                i + 1,
+                "`Ordering::SeqCst` without an adjacent `// ORDERING:` justification",
+            ));
+        } else if in_obs
+            && !file.test_lines[i]
+            && ["Ordering::Acquire", "Ordering::Release", "Ordering::AcqRel"]
+                .iter()
+                .any(|o| code.contains(o))
+            && !justified
+        {
+            findings.push(Finding::new(
+                RuleId::AtomicsObsNotRelaxed,
+                &file.path,
+                i + 1,
+                "non-Relaxed ordering in an obs record path without `// ORDERING:`",
+            ));
+        }
+    }
+}
+
+/// `SA401`: bare truncating `as` casts in tensor index math. The CSR/COO
+/// structures store `u32` column indices; a silent `as u32` on an
+/// unchecked `usize` wraps at 4Gi entries. Use `try_from` on fallible
+/// paths, or justify the bound with `// CAST:`.
+fn check_casts(file: &SourceFile, findings: &mut Vec<Finding>) {
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+    for i in 0..file.lines.len() {
+        if !file.is_code_line(i) {
+            continue;
+        }
+        let code = &file.lines[i].code;
+        let truncating = code.split(" as ").skip(1).any(|after| {
+            let ty: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric())
+                .collect();
+            NARROW.contains(&ty.as_str())
+        });
+        if truncating && !file.justified(i, JUSTIFY_WINDOW, "CAST:") {
+            findings.push(Finding::new(
+                RuleId::CastTruncatingIndex,
+                &file.path,
+                i + 1,
+                "bare truncating `as` cast without `// CAST:` (prefer `try_from`)",
+            ));
+        }
+    }
+}
+
+/// `SA501`: in `fault.rs`, every `FaultPlan` field and every `with_*`
+/// builder must sit under `#[cfg(feature = "fault-inject")]` so
+/// production builds carry no fault state at all.
+fn check_fault_gating(file: &SourceFile, findings: &mut Vec<Finding>) {
+    // Fields: lines inside the `struct FaultPlan { ... }` braces.
+    if let Some(start) = file
+        .lines
+        .iter()
+        .position(|l| l.code.contains("struct FaultPlan"))
+    {
+        let mut depth = 0i64;
+        for i in start..file.lines.len() {
+            for c in file.lines[i].code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            let t = file.lines[i].code.trim();
+            let is_field = i > start && depth > 0 && !t.is_empty() && !t.starts_with('#');
+            if is_field && !file.gated_lines[i] {
+                findings.push(Finding::new(
+                    RuleId::FaultInjectUngated,
+                    &file.path,
+                    i + 1,
+                    "FaultPlan field outside `#[cfg(feature = \"fault-inject\")]`",
+                ));
+            }
+            if i > start && depth == 0 {
+                break;
+            }
+        }
+    }
+    // Builders: any `fn with_*` must be in a gated span.
+    for i in 0..file.lines.len() {
+        let code = &file.lines[i].code;
+        if code.contains("fn with_") && !file.gated_lines[i] && !file.test_lines[i] {
+            findings.push(Finding::new(
+                RuleId::FaultInjectUngated,
+                &file.path,
+                i + 1,
+                "fault builder outside `#[cfg(feature = \"fault-inject\")]`",
+            ));
+        }
+    }
+}
+
+/// Whether `word` appears in `code` with non-identifier chars (or line
+/// edges) on both sides.
+fn has_word(code: &str, word: &str) -> bool {
+    for (pos, _) in code.match_indices(word) {
+        let before = code[..pos].chars().next_back();
+        let after = code[pos + word.len()..].chars().next();
+        let is_ident = |c: Option<char>| matches!(c, Some(x) if x.is_alphanumeric() || x == '_');
+        if !is_ident(before) && !is_ident(after) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        check_hygiene(&[SourceFile::parse(path, src)])
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = run("crates/x/src/a.rs", "fn f() { unsafe { g() } }\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, RuleId::UnsafeMissingSafetyComment);
+        let good = run(
+            "crates/x/src/a.rs",
+            "// SAFETY: g has no preconditions\nfn f() { unsafe { g() } }\n",
+        );
+        assert!(good.is_empty());
+        // Fires in test files too.
+        assert_eq!(run("crates/x/tests/t.rs", "unsafe { g() }\n").len(), 1);
+        // `unsafe` as part of a longer identifier does not fire.
+        assert!(run("crates/x/src/a.rs", "fn not_unsafe_fn() {}\n").is_empty());
+    }
+
+    #[test]
+    fn seqcst_needs_ordering_comment() {
+        let bad = run("crates/x/src/a.rs", "x.store(1, Ordering::SeqCst);\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, RuleId::AtomicsSeqCstUnjustified);
+        let good = run(
+            "crates/x/src/a.rs",
+            "// ORDERING: total order needed across three flags\nx.store(1, Ordering::SeqCst);\n",
+        );
+        assert!(good.is_empty());
+    }
+
+    #[test]
+    fn obs_must_stay_relaxed() {
+        let bad = run("crates/obs/src/a.rs", "x.store(1, Ordering::Release);\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, RuleId::AtomicsObsNotRelaxed);
+        // Outside obs, Release is fine.
+        assert!(run("crates/serve/src/a.rs", "x.store(1, Ordering::Release);\n").is_empty());
+        // Relaxed in obs is the expected case.
+        assert!(run("crates/obs/src/a.rs", "x.load(Ordering::Relaxed);\n").is_empty());
+        // SeqCst in obs fires SA301 only, not both.
+        let seq = run("crates/obs/src/a.rs", "x.store(1, Ordering::SeqCst);\n");
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq[0].rule, RuleId::AtomicsSeqCstUnjustified);
+    }
+
+    #[test]
+    fn truncating_casts_in_tensor() {
+        let bad = run("crates/tensor/src/a.rs", "let c32 = c as u32;\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, RuleId::CastTruncatingIndex);
+        let good = run(
+            "crates/tensor/src/a.rs",
+            "// CAST: c < ncols <= u32::MAX, checked above\nlet c32 = c as u32;\n",
+        );
+        assert!(good.is_empty());
+        // Widening casts and f32 are not truncating index math.
+        assert!(run(
+            "crates/tensor/src/a.rs",
+            "let w = x as u64; let f = n as f32;\n"
+        )
+        .is_empty());
+        // Other crates are out of scope for SA401.
+        assert!(run("crates/serve/src/a.rs", "let c32 = c as u32;\n").is_empty());
+    }
+
+    #[test]
+    fn fault_plan_fields_must_be_gated() {
+        let src = "pub struct FaultPlan {\n\
+                       #[cfg(feature = \"fault-inject\")]\n\
+                       gated: bool,\n\
+                       ungated: bool,\n\
+                   }\n\
+                   impl FaultPlan {\n\
+                       pub fn with_bad(mut self) -> Self { self }\n\
+                   }\n";
+        let findings = run("crates/runtime/src/fault.rs", src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .all(|f| f.rule == RuleId::FaultInjectUngated));
+        assert_eq!(findings[0].line, 4);
+        assert_eq!(findings[1].line, 7);
+        // The same shapes in another file are not this rule's business.
+        assert!(run("crates/runtime/src/other.rs", src).is_empty());
+    }
+}

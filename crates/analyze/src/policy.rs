@@ -1,0 +1,193 @@
+//! The ratcheted panic policy (`SA101`–`SA104`) over the hot-path
+//! crates.
+//!
+//! The serving and kernel crates must not abort: a panic in `spmm` or in
+//! the admission queue takes the whole process (and every queued flow
+//! job) with it, so fallible paths return typed errors instead. The four
+//! rules here catch the panicking constructs in non-test code of those
+//! crates; justified leftovers live in `ANALYZE_allowlist.txt` and the
+//! total is capped by `ANALYZE_ratchet.txt` (see [`crate::gate`]).
+
+use std::collections::BTreeMap;
+
+use crate::gate::Gate;
+use crate::registry::RuleId;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Crates whose `src/` trees the panic policy governs.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/tensor/src/",
+    "crates/core/src/",
+    "crates/serve/src/",
+    "crates/dft/src/",
+];
+
+/// Whether the panic policy applies to this file at all.
+pub fn is_hot_path(path: &str) -> bool {
+    HOT_PATHS.iter().any(|p| path.starts_with(p))
+}
+
+const PANIC_MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Runs `SA101`–`SA104` over `files`. Sites matching an allowlist entry
+/// are excluded outright (and mark the entry used); every other site is
+/// counted into `totals` and returned. The caller reports the returned
+/// sites only for rules whose total exceeds the ratchet — legacy debt
+/// within budget is tolerated silently, which is what lets the ratchet
+/// start at today's counts and only ever go down.
+pub fn check_panic_policy(
+    files: &[SourceFile],
+    gate: &mut Gate,
+    totals: &mut BTreeMap<RuleId, usize>,
+) -> Vec<Finding> {
+    let mut sites = Vec::new();
+    for file in files.iter().filter(|f| is_hot_path(&f.path)) {
+        for i in 0..file.lines.len() {
+            if !file.is_code_line(i) {
+                continue;
+            }
+            let code = &file.lines[i].code;
+            let mut site = |rule: RuleId, what: &str, sites: &mut Vec<Finding>| {
+                if gate.allows(rule, &file.path, code) {
+                    return;
+                }
+                *totals.entry(rule).or_insert(0) += 1;
+                sites.push(Finding::new(
+                    rule,
+                    &file.path,
+                    i + 1,
+                    format!("{what} in non-test hot-path code"),
+                ));
+            };
+            if code.contains(".unwrap()") {
+                site(RuleId::PanicUnwrap, "`.unwrap()`", &mut sites);
+            }
+            if code.contains(".expect(") {
+                site(RuleId::PanicExpect, "`.expect(...)`", &mut sites);
+            }
+            if let Some(mac) = panic_macro(code) {
+                site(RuleId::PanicMacro, &format!("`{mac}`"), &mut sites);
+            }
+            if has_bare_index(code) {
+                site(
+                    RuleId::PanicIndex,
+                    "unchecked `[...]` indexing (use `get`/checked helpers)",
+                    &mut sites,
+                );
+            }
+        }
+    }
+    sites
+}
+
+/// Which panicking macro (if any) this code line invokes. The char
+/// before the name must not be part of an identifier, so
+/// `epanic!`-style names don't match while `core::panic!` does.
+fn panic_macro(code: &str) -> Option<&'static str> {
+    for mac in PANIC_MACROS {
+        for (pos, _) in code.match_indices(mac) {
+            let before = code[..pos].chars().next_back();
+            if !matches!(before, Some(c) if c.is_alphanumeric() || c == '_') {
+                return Some(mac);
+            }
+        }
+    }
+    None
+}
+
+/// Whether the line contains `expr[...]` indexing: a `[` directly after
+/// an identifier char, `)`, or `]`. Attribute lines (`#[...]`) never
+/// have that shape after scrubbing, and slice *types* (`&[f32]`), array
+/// literals (`[0; 4]`) and macro brackets (`vec![...]`) are preceded by
+/// non-identifier chars, so they don't match.
+fn has_bare_index(code: &str) -> bool {
+    if code.trim_start().starts_with('#') {
+        return false;
+    }
+    let chars: Vec<char> = code.chars().collect();
+    chars.windows(2).any(|w| {
+        w[1] == '[' && (w[0].is_alphanumeric() || w[0] == '_' || w[0] == ')' || w[0] == ']')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> (Vec<Finding>, BTreeMap<RuleId, usize>) {
+        let files = vec![SourceFile::parse(path, src)];
+        let mut gate = Gate::parse("", "").expect("empty gate parses");
+        let mut totals = BTreeMap::new();
+        let findings = check_panic_policy(&files, &mut gate, &mut totals);
+        (findings, totals)
+    }
+
+    #[test]
+    fn fires_only_on_hot_paths() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(run("crates/tensor/src/a.rs", src).0.len(), 1);
+        assert_eq!(run("crates/obs/src/a.rs", src).0.len(), 0);
+        assert_eq!(run("crates/tensor/tests/a.rs", src).0.len(), 0);
+    }
+
+    #[test]
+    fn each_rule_fires_with_its_id() {
+        let src = "fn f(v: &[f32], i: usize) {\n\
+                   a.unwrap();\n\
+                   b.expect(\"msg\");\n\
+                   panic!(\"boom\");\n\
+                   let x = v[i];\n\
+                   }\n";
+        let (findings, totals) = run("crates/serve/src/a.rs", src);
+        let rules: Vec<RuleId> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&RuleId::PanicUnwrap));
+        assert!(rules.contains(&RuleId::PanicExpect));
+        assert!(rules.contains(&RuleId::PanicMacro));
+        assert!(rules.contains(&RuleId::PanicIndex));
+        assert_eq!(totals[&RuleId::PanicUnwrap], 1);
+    }
+
+    #[test]
+    fn test_code_and_strings_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n\
+                   fn live() { log(\".unwrap()\"); }\n";
+        let (findings, totals) = run("crates/core/src/a.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(totals.is_empty());
+    }
+
+    #[test]
+    fn index_shapes() {
+        assert!(has_bare_index("let x = v[i];"));
+        assert!(has_bare_index("f(a)[0]"));
+        assert!(has_bare_index("m[r][c]"));
+        assert!(!has_bare_index("#[derive(Debug)]"));
+        assert!(!has_bare_index("fn f(v: &[f32]) -> [u8; 4] {"));
+        assert!(!has_bare_index("let a = vec![1, 2];"));
+        assert!(!has_bare_index("let b = [0u8; 16];"));
+    }
+
+    #[test]
+    fn macro_name_boundaries() {
+        assert_eq!(panic_macro("core::panic!(\"x\")"), Some("panic!"));
+        assert_eq!(panic_macro("my_panic!(\"x\")"), None);
+        assert_eq!(panic_macro("unreachable!()"), Some("unreachable!"));
+        assert_eq!(panic_macro("debug_assert!(x)"), None);
+    }
+
+    #[test]
+    fn allowlisted_site_is_excluded_from_count_and_sites() {
+        let files = vec![SourceFile::parse(
+            "crates/tensor/src/a.rs",
+            "fn f() { x.unwrap(); }\n",
+        )];
+        let allow = "SA101 crates/tensor/src/a.rs x.unwrap() -- documented-panic API\n";
+        let mut gate = Gate::parse(allow, "").expect("gate parses");
+        let mut totals = BTreeMap::new();
+        let sites = check_panic_policy(&files, &mut gate, &mut totals);
+        assert!(sites.is_empty());
+        assert!(totals.is_empty());
+        assert!(gate.finish(&totals).is_empty());
+    }
+}

@@ -41,7 +41,7 @@ fn sample_record(seq: usize) -> BatchRecord {
 fn bench_journal(c: &mut Criterion) {
     let net = generate(&GeneratorConfig::sized("wal", 3, 200));
     let cfg = FlowConfig::default();
-    let header = JournalHeader::describe(&net, &cfg);
+    let header = JournalHeader::describe(&net, &cfg).expect("flow config serializes");
 
     let mut group = c.benchmark_group("serve_journal");
     group.sample_size(10);

@@ -25,12 +25,14 @@ pub const OBSERVATION_POINT_ATTRS: [f32; RAW_DIM] = [0.0, 1.0, 1.0, 0.0];
 pub fn raw_features(levels: &[u32], scoap: &Scoap) -> Matrix {
     let n = levels.len();
     let mut m = Matrix::zeros(n, RAW_DIM);
-    for (i, &level) in levels.iter().enumerate() {
-        let row = m.row_mut(i);
-        row[0] = squash(level);
-        row[1] = squash(scoap.cc0_all()[i]);
-        row[2] = squash(scoap.cc1_all()[i]);
-        row[3] = squash(scoap.co_all()[i]);
+    let measures = levels
+        .iter()
+        .zip(scoap.cc0_all())
+        .zip(scoap.cc1_all())
+        .zip(scoap.co_all());
+    for (i, (((&level, &cc0), &cc1), &co)) in measures.enumerate() {
+        m.row_mut(i)
+            .copy_from_slice(&[squash(level), squash(cc0), squash(cc1), squash(co)]);
     }
     m
 }
@@ -69,12 +71,17 @@ pub fn extended_features_of(net: &Netlist) -> NetResult<Matrix> {
     let cop = gcnt_netlist::Cop::compute(net)?;
     let n = base.rows();
     let mut m = Matrix::zeros(n, EXTENDED_DIM);
-    for i in 0..n {
-        let row = m.row_mut(i);
-        row[..RAW_DIM].copy_from_slice(base.row(i));
+    let cop_cols = cop.p1_all().iter().zip(cop.observability_all());
+    for (i, (&p1, &obs)) in cop_cols.enumerate() {
         // log2 of probabilities, floored to keep values finite.
-        row[4] = (cop.p1_all()[i].max(1e-12)).log2() as f32;
-        row[5] = (cop.observability_all()[i].max(1e-12)).log2() as f32;
+        let tail = [
+            (p1.max(1e-12)).log2() as f32,
+            (obs.max(1e-12)).log2() as f32,
+        ];
+        let cells = base.row(i).iter().copied().chain(tail);
+        for (dst, src) in m.row_mut(i).iter_mut().zip(cells) {
+            *dst = src;
+        }
     }
     Ok(m)
 }

@@ -52,11 +52,15 @@ impl MetricsRegistry {
 
     /// Turns recording on.
     pub fn enable(&self) {
+        // ORDERING: Release publishes writes made before enabling; the
+        // flag flip itself is off the record paths, so the cost is fine.
         self.enabled.store(true, Ordering::Release);
     }
 
     /// Turns recording off; existing values are kept.
     pub fn disable(&self) {
+        // ORDERING: Release, symmetric with `enable`; record paths keep
+        // their Relaxed load either way.
         self.enabled.store(false, Ordering::Release);
     }
 

@@ -13,12 +13,18 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every call delegates to the `System` allocator unchanged; the
+// only extra work is a counter bump, so `GlobalAlloc`'s layout/pointer
+// contracts hold exactly as `System` upholds them.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: `layout` is forwarded to `System.alloc` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` came from `alloc` above, which returned
+    // them from `System.alloc` — exactly what `System.dealloc` expects.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
@@ -28,7 +34,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::SeqCst)
+    ALLOCATIONS.load(Ordering::Relaxed)
 }
 
 #[test]

@@ -38,6 +38,9 @@ pub enum ServeError {
     /// The worker thread behind a [`crate::ServeHandle`] is gone; the
     /// request's reply will never arrive.
     WorkerGone,
+    /// The worker thread could not be spawned — OS thread limits or
+    /// memory exhaustion at startup.
+    Spawn(String),
 }
 
 impl fmt::Display for ServeError {
@@ -57,6 +60,7 @@ impl fmt::Display for ServeError {
             ServeError::Flow(e) => write!(f, "flow job failed: {e}"),
             ServeError::Tensor(e) => write!(f, "inference failed: {e}"),
             ServeError::WorkerGone => write!(f, "serve worker thread is gone"),
+            ServeError::Spawn(e) => write!(f, "could not start serve worker: {e}"),
         }
     }
 }

@@ -69,14 +69,20 @@ pub struct JournalHeader {
 impl JournalHeader {
     /// Fingerprints a job: the *original* (pre-flow) design plus its flow
     /// configuration.
-    pub fn describe(net: &Netlist, cfg: &FlowConfig) -> Self {
-        let cfg_json = serde_json::to_string(cfg).expect("flow config serialization is infallible");
-        JournalHeader {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Journal`] if the flow configuration cannot be
+    /// serialized for fingerprinting.
+    pub fn describe(net: &Netlist, cfg: &FlowConfig) -> Result<Self, ServeError> {
+        let cfg_json = serde_json::to_string(cfg)
+            .map_err(|e| ServeError::Journal(format!("flow config serialization: {e}")))?;
+        Ok(JournalHeader {
             version: JOURNAL_VERSION,
             design: net.name().to_string(),
             design_checksum: checksum_hex(format::write(net).as_bytes()),
             flow_checksum: checksum_hex(cfg_json.as_bytes()),
-        }
+        })
     }
 }
 
@@ -92,9 +98,10 @@ fn checksum_hex(bytes: &[u8]) -> String {
     format!("{:016x}", fnv1a64(bytes))
 }
 
-fn payload_checksum(rec: &BatchRecord) -> String {
-    let json = serde_json::to_string(rec).expect("record serialization is infallible");
-    checksum_hex(json.as_bytes())
+fn payload_checksum(rec: &BatchRecord) -> Result<String, ServeError> {
+    let json = serde_json::to_string(rec)
+        .map_err(|e| ServeError::Journal(format!("record serialization: {e}")))?;
+    Ok(checksum_hex(json.as_bytes()))
 }
 
 /// An open, append-ready write-ahead journal.
@@ -136,20 +143,16 @@ impl FlowJournal {
             if torn {
                 // Rewrite without the torn line so the file is clean JSON
                 // lines again before anything is appended after it.
-                let mut clean =
-                    serde_json::to_string(header).expect("header serialization is infallible");
-                clean.push('\n');
+                let mut clean = header_line(header)?;
                 for (seq, rec) in records.iter().enumerate() {
-                    clean.push_str(&record_line(seq as u64, rec));
+                    clean.push_str(&record_line(seq as u64, rec)?);
                 }
                 atomic_write(path, clean.as_bytes())
                     .map_err(|e| ServeError::Journal(e.to_string()))?;
             }
             (records, torn)
         } else {
-            let mut first =
-                serde_json::to_string(header).expect("header serialization is infallible");
-            first.push('\n');
+            let first = header_line(header)?;
             atomic_write(path, first.as_bytes()).map_err(|e| ServeError::Journal(e.to_string()))?;
             (Vec::new(), false)
         };
@@ -209,21 +212,21 @@ impl FlowJournal {
         // fatal moment: the write was cut inside the payload.
         if !torn {
             if let Some(last) = parsed.last() {
-                if payload_checksum(&last.payload) != last.checksum {
+                if payload_checksum(&last.payload)? != last.checksum {
                     parsed.pop();
                     torn = true;
                 }
             }
         }
 
-        let metas: Vec<JournalRecordMeta> = parsed
-            .iter()
-            .map(|r| JournalRecordMeta {
+        let mut metas: Vec<JournalRecordMeta> = Vec::with_capacity(parsed.len());
+        for r in &parsed {
+            metas.push(JournalRecordMeta {
                 seq: r.seq,
                 stored_checksum: r.checksum.clone(),
-                computed_checksum: payload_checksum(&r.payload),
-            })
-            .collect();
+                computed_checksum: payload_checksum(&r.payload)?,
+            });
+        }
         let report = lint_journal_records(&path.display().to_string(), &metas);
         if report.has_errors() {
             return Err(bad(format!("journal failed validation:\n{report}")));
@@ -241,10 +244,11 @@ impl FlowJournal {
     pub fn append(&mut self, rec: &BatchRecord) -> Result<u64, ServeError> {
         let io = |e: std::io::Error| ServeError::Journal(format!("{}: {e}", self.path.display()));
         let seq = self.next_seq;
+        let line = record_line(seq, rec)?;
         let fsync_span = gcnt_obs::span(gcnt_obs::histograms::SERVE_JOURNAL_FSYNC_NS);
         let write = self
             .file
-            .write_all(record_line(seq, rec).as_bytes())
+            .write_all(line.as_bytes())
             .and_then(|()| self.file.sync_all());
         if let Err(e) = write {
             fsync_span.cancel();
@@ -268,15 +272,22 @@ impl FlowJournal {
     }
 }
 
-fn record_line(seq: u64, rec: &BatchRecord) -> String {
+fn header_line(header: &JournalHeader) -> Result<String, ServeError> {
+    let mut line = serde_json::to_string(header)
+        .map_err(|e| ServeError::Journal(format!("header serialization: {e}")))?;
+    line.push('\n');
+    Ok(line)
+}
+
+fn record_line(seq: u64, rec: &BatchRecord) -> Result<String, ServeError> {
     let mut line = serde_json::to_string(&RecordLine {
         seq,
-        checksum: payload_checksum(rec),
+        checksum: payload_checksum(rec)?,
         payload: rec.clone(),
     })
-    .expect("record serialization is infallible");
+    .map_err(|e| ServeError::Journal(format!("record serialization: {e}")))?;
     line.push('\n');
-    line
+    Ok(line)
 }
 
 #[cfg(test)]
@@ -300,7 +311,7 @@ mod tests {
     fn fixture() -> (Netlist, FlowConfig, JournalHeader) {
         let net = generate(&GeneratorConfig::sized("journal", 3, 120));
         let cfg = FlowConfig::default();
-        let header = JournalHeader::describe(&net, &cfg);
+        let header = JournalHeader::describe(&net, &cfg).unwrap();
         (net, cfg, header)
     }
 
@@ -410,13 +421,13 @@ mod tests {
         FlowJournal::open(&path, &header).unwrap();
 
         let other = generate(&GeneratorConfig::sized("other", 4, 100));
-        let other_header = JournalHeader::describe(&other, &cfg);
+        let other_header = JournalHeader::describe(&other, &cfg).unwrap();
         let err = FlowJournal::open(&path, &other_header).unwrap_err();
         assert!(err.to_string().contains("different job"), "{err}");
 
         let future = JournalHeader {
             version: JOURNAL_VERSION + 1,
-            ..JournalHeader::describe(&net, &cfg)
+            ..JournalHeader::describe(&net, &cfg).unwrap()
         };
         let text = fs::read_to_string(&path).unwrap();
         let mut lines: Vec<String> = text.lines().map(str::to_string).collect();

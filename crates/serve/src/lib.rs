@@ -49,7 +49,7 @@
 //! );
 //!
 //! let core = ServeCore::new(data.normalizer, model, ServeConfig::default());
-//! let handle = ServeHandle::start(core);
+//! let handle = ServeHandle::start(core)?;
 //! let resp = handle.infer(net, None)?;
 //! assert_eq!(resp.rung, Rung::Incremental); // no pressure, no degradation
 //! # Ok::<(), gcnt_serve::ServeError>(())

@@ -7,7 +7,7 @@
 //! queue at its own pace.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::error::ServeError;
 
@@ -20,6 +20,17 @@ struct Shared<T> {
     state: Mutex<State<T>>,
     ready: Condvar,
     capacity: usize,
+}
+
+impl<T> Shared<T> {
+    /// Locks the state, recovering from poisoning. Every mutation under
+    /// this lock is a single `VecDeque` op or a bool store — a producer
+    /// that panicked mid-critical-section cannot leave the state torn,
+    /// so propagating the poison would only turn one dead request into
+    /// a dead service.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A bounded FIFO queue shared between request producers and the worker.
@@ -58,7 +69,7 @@ impl<T> BoundedQueue<T> {
 
     /// Pending items right now.
     pub fn len(&self) -> usize {
-        self.shared.state.lock().expect("queue lock").items.len()
+        self.shared.lock().items.len()
     }
 
     /// Whether no items are pending.
@@ -74,7 +85,7 @@ impl<T> BoundedQueue<T> {
     ///
     /// See above; the item rides along so the caller can reply to it.
     pub fn try_push(&self, item: T) -> Result<(), (T, ServeError)> {
-        let mut state = self.shared.state.lock().expect("queue lock");
+        let mut state = self.shared.lock();
         if state.closed {
             return Err((item, ServeError::WorkerGone));
         }
@@ -102,7 +113,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available or the queue is closed *and*
     /// drained; `None` means no item will ever come again.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.shared.state.lock().expect("queue lock");
+        let mut state = self.shared.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 gcnt_obs::global().gauge_set(
@@ -114,14 +125,18 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.shared.ready.wait(state).expect("queue lock");
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: future pushes fail, and consumers drain what is
     /// left before seeing `None`.
     pub fn close(&self) {
-        self.shared.state.lock().expect("queue lock").closed = true;
+        self.shared.lock().closed = true;
         self.shared.ready.notify_all();
     }
 }

@@ -273,7 +273,7 @@ impl ServeCore {
         journal_path: &Path,
         deadline: Option<u64>,
     ) -> Result<FlowResponse, ServeError> {
-        let header = JournalHeader::describe(net, cfg);
+        let header = JournalHeader::describe(net, cfg)?;
         let recovered = FlowJournal::open(journal_path, &header)?;
         let mut journal = recovered.journal;
         let resumed_batches = recovered.records.len();
@@ -387,7 +387,12 @@ pub struct ServeHandle {
 
 impl ServeHandle {
     /// Starts the worker thread around `core`.
-    pub fn start(core: ServeCore) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spawn`] if the OS refuses the worker thread —
+    /// nothing was started and `core` is consumed with it.
+    pub fn start(core: ServeCore) -> Result<Self, ServeError> {
         let saturated = core.queue_saturated();
         let queue = BoundedQueue::new(core.config.queue_capacity);
         let jobs = queue.clone();
@@ -424,12 +429,12 @@ impl ServeHandle {
                 }
                 core
             })
-            .expect("spawn serve worker");
-        ServeHandle {
+            .map_err(|e| ServeError::Spawn(e.to_string()))?;
+        Ok(ServeHandle {
             queue,
             worker: Some(worker),
             saturated,
-        }
+        })
     }
 
     /// Requests pending in the queue.
@@ -515,13 +520,17 @@ impl ServeHandle {
     }
 
     /// Drains the queue, stops the worker, and hands the core back.
-    pub fn shutdown(mut self) -> ServeCore {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WorkerGone`] if the worker thread panicked — the
+    /// core died with it and cannot be handed back.
+    pub fn shutdown(mut self) -> Result<ServeCore, ServeError> {
         self.queue.close();
-        self.worker
-            .take()
-            .expect("worker present until shutdown")
-            .join()
-            .expect("serve worker panicked")
+        match self.worker.take() {
+            Some(worker) => worker.join().map_err(|_| ServeError::WorkerGone),
+            None => Err(ServeError::WorkerGone),
+        }
     }
 }
 
@@ -583,20 +592,20 @@ mod tests {
     #[test]
     fn handle_round_trips_an_inference_request() {
         let (core, net) = core();
-        let handle = ServeHandle::start(core);
+        let handle = ServeHandle::start(core).expect("start worker");
         let resp = handle.infer(net.clone(), None).unwrap();
         assert_eq!(resp.rung, Rung::Incremental);
         assert_eq!(resp.probs.len(), net.node_count());
         assert!(resp.spent > 0);
         assert_eq!(resp.admission_index, 0);
-        let core = handle.shutdown();
+        let core = handle.shutdown().expect("worker exits cleanly");
         assert_eq!(core.admitted(), 1);
     }
 
     #[test]
     fn tight_deadline_degrades_but_completes() {
         let (core, net) = core();
-        let handle = ServeHandle::start(core);
+        let handle = ServeHandle::start(core).expect("start worker");
         let resp = handle.infer(net.clone(), Some(3)).unwrap();
         assert_eq!(resp.rung, Rung::FirstStage);
         assert_eq!(resp.dropped.len(), 2);
@@ -619,7 +628,7 @@ mod tests {
                 ..ServeConfig::default()
             },
         );
-        let handle = ServeHandle::start(core);
+        let handle = ServeHandle::start(core).expect("start worker");
         // Park the worker so the queue genuinely fills.
         let (hold_tx, hold_rx) = mpsc::channel::<()>();
         handle.queue.try_push(Job::Barrier(hold_rx)).unwrap();
@@ -716,7 +725,7 @@ mod tests {
     #[test]
     fn flow_job_through_the_handle() {
         let (core, net) = core();
-        let handle = ServeHandle::start(core);
+        let handle = ServeHandle::start(core).expect("start worker");
         let dir = temp_dir("handleflow");
         let cfg = FlowConfig {
             max_iterations: 2,
@@ -753,8 +762,8 @@ mod tests {
             let healthy = ServeCore::new(normalizer.clone(), model_.clone(), config);
             let slow = ServeCore::new(normalizer, model_, config)
                 .with_faults(FaultPlan::none().with_latency_multiplier(10));
-            let h1 = ServeHandle::start(healthy);
-            let h2 = ServeHandle::start(slow);
+            let h1 = ServeHandle::start(healthy).expect("start worker");
+            let h2 = ServeHandle::start(slow).expect("start worker");
             for i in 0..4 {
                 let fast = h1.infer(net.clone(), None).unwrap();
                 assert_eq!(fast.rung, Rung::Incremental, "request {i}");
@@ -774,14 +783,14 @@ mod tests {
             let (normalizer, model_, net) = model();
             let core = ServeCore::new(normalizer, model_, ServeConfig::default())
                 .with_faults(FaultPlan::none().with_queue_saturation());
-            let handle = ServeHandle::start(core);
+            let handle = ServeHandle::start(core).expect("start worker");
             for _ in 0..3 {
                 assert!(matches!(
                     handle.infer(net.clone(), None),
                     Err(ServeError::Overloaded { .. })
                 ));
             }
-            let core = handle.shutdown();
+            let core = handle.shutdown().expect("worker exits cleanly");
             assert_eq!(core.admitted(), 0, "rejected requests never ran");
         }
 
@@ -790,7 +799,7 @@ mod tests {
             let (normalizer, model_, net) = model();
             let core = ServeCore::new(normalizer, model_, ServeConfig::default())
                 .with_faults(FaultPlan::none().with_cache_poison(1));
-            let handle = ServeHandle::start(core);
+            let handle = ServeHandle::start(core).expect("start worker");
             assert_eq!(
                 handle.infer(net.clone(), None).unwrap().rung,
                 Rung::Incremental

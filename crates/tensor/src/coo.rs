@@ -92,15 +92,20 @@ impl CooMatrix {
     /// Returns [`TensorError::IndexOutOfBounds`] if `(r, c)` is out of
     /// bounds.
     pub fn try_push(&mut self, r: usize, c: usize, v: f32) -> Result<()> {
+        let oob = || TensorError::IndexOutOfBounds {
+            index: (r, c),
+            shape: (self.rows, self.cols),
+        };
         if r >= self.rows || c >= self.cols {
-            return Err(TensorError::IndexOutOfBounds {
-                index: (r, c),
-                shape: (self.rows, self.cols),
-            });
+            return Err(oob());
         }
+        // Indices are stored as u32; a coordinate past 4Gi is reported as
+        // out of bounds rather than silently wrapped.
+        let r32 = u32::try_from(r).map_err(|_| oob())?;
+        let c32 = u32::try_from(c).map_err(|_| oob())?;
         self.values.push(v);
-        self.row_indices.push(r as u32);
-        self.col_indices.push(c as u32);
+        self.row_indices.push(r32);
+        self.col_indices.push(c32);
         Ok(())
     }
 

@@ -60,8 +60,10 @@ impl CsrMatrix {
         for (r, _, _) in coo.iter() {
             counts[r + 1] += 1;
         }
-        for i in 1..=rows {
-            counts[i] += counts[i - 1];
+        let mut running = 0usize;
+        for count in counts.iter_mut() {
+            running += *count;
+            *count = running;
         }
         let indptr_raw = counts.clone();
         let nnz = coo.nnz();
@@ -70,6 +72,7 @@ impl CsrMatrix {
         let mut cursor = indptr_raw.clone();
         for (r, c, v) in coo.iter() {
             let pos = cursor[r];
+            // CAST: c round-trips from the COO's u32 column storage.
             indices[pos] = c as u32;
             values[pos] = v;
             cursor[r] += 1;
@@ -89,11 +92,17 @@ impl CsrMatrix {
             row.sort_unstable_by_key(|&(c, _)| c);
             let row_start = out_indices.len();
             for (c, v) in row {
-                if out_indices.len() > row_start && *out_indices.last().unwrap() == c {
-                    *out_values.last_mut().unwrap() += v;
-                } else {
-                    out_indices.push(c);
-                    out_values.push(v);
+                // The row is sorted, so duplicates of a column are
+                // adjacent: merge into the entry just pushed (guarded to
+                // stay inside this row's slice).
+                match (out_indices.last(), out_values.last_mut()) {
+                    (Some(&last), Some(acc)) if out_indices.len() > row_start && last == c => {
+                        *acc += v;
+                    }
+                    _ => {
+                        out_indices.push(c);
+                        out_values.push(v);
+                    }
                 }
             }
             out_indptr[r + 1] = out_indices.len();
@@ -397,8 +406,10 @@ impl CsrMatrix {
         for &c in &self.indices {
             counts[c as usize + 1] += 1;
         }
-        for i in 1..=self.cols {
-            counts[i] += counts[i - 1];
+        let mut running = 0usize;
+        for count in counts.iter_mut() {
+            running += *count;
+            *count = running;
         }
         let indptr = counts.clone();
         let mut cursor = counts;
@@ -407,6 +418,8 @@ impl CsrMatrix {
         for r in 0..self.rows {
             for (c, v) in self.row(r) {
                 let pos = cursor[c];
+                // CAST: rows beyond u32 cannot hold entries — every stored
+                // row index came from the COO's u32 storage.
                 indices[pos] = r as u32;
                 values[pos] = v;
                 cursor[c] += 1;

@@ -74,6 +74,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "flow" => cmd_flow(&positional, &options),
         "atpg" => cmd_atpg(&positional, &options),
         "lint" => cmd_lint(&positional, &options),
+        "analyze" => cmd_analyze(&options),
         "serve" => cmd_serve(&options),
         "checkpoints" => cmd_checkpoints(&positional),
         "help" | "--help" | "-h" => {
@@ -102,6 +103,7 @@ fn print_usage() {
          \x20\x20\x20\x20 [--impact-mode full|incremental] [--metrics-out m.json]\n\
          \x20 gcnt atpg design.bench [--patterns N]\n\
          \x20 gcnt lint design.bench [--model model.json] [--format text|json]\n\
+         \x20 gcnt analyze [--root DIR] [--format text|json] [--ratchet-update]\n\
          \x20 gcnt serve --self-test [--journal-dir DIR] [--requests N] [--deadline ROWS]\n\
          \x20\x20\x20\x20 [--faults plan.json] [--metrics-out m.json] [--metrics-every N]\n\
          \x20 gcnt checkpoints DIR\n\
@@ -469,6 +471,30 @@ fn cmd_lint(
     Ok(())
 }
 
+/// `gcnt analyze`: the source & artifact static-analysis pass. Scans the
+/// repo tree (default: the current directory) with the `SA###` rules of
+/// `gcnt-analyze` and exits nonzero on any error finding — the same
+/// contract CI enforces. `GCNT_ANALYZE_SABOTAGE=1` plants a synthetic
+/// violation so the gate can prove it actually fails.
+fn cmd_analyze(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    use gcn_testability::analyze::{analyze, AnalyzeConfig};
+
+    let root = options.get("root").map(String::as_str).unwrap_or(".");
+    let mut cfg = AnalyzeConfig::new(root);
+    cfg.sabotage = std::env::var("GCNT_ANALYZE_SABOTAGE").map(|v| v == "1") == Ok(true);
+    cfg.update_ratchet = options.contains_key("ratchet-update");
+    let report = analyze(&cfg)?;
+    match options.get("format").map(String::as_str) {
+        None | Some("text") => print!("{report}"),
+        Some("json") => print!("{}", report.to_json()),
+        Some(other) => return Err(format!("unknown format '{other}' (use text or json)").into()),
+    }
+    if report.has_errors() {
+        return Err("analyze found error findings (see report above)".into());
+    }
+    Ok(())
+}
+
 /// Parses `--faults plan.json` into a [`FaultPlan`]. Deterministic fault
 /// injection only exists in `fault-inject` builds; a production binary
 /// refuses the flag outright instead of silently ignoring it.
@@ -544,7 +570,7 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     if saturated {
         // Admission-control drill: every submission must bounce with a
         // typed Overloaded, and nothing may queue up behind the fault.
-        let handle = ServeHandle::start(core);
+        let handle = ServeHandle::start(core)?;
         for i in 0..requests {
             match handle.submit_infer(net.clone(), deadline) {
                 Err(ServeError::Overloaded { capacity }) => {
@@ -557,7 +583,7 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
                 Ok(_) => return Err("saturated queue admitted a request".into()),
             }
         }
-        let core = handle.shutdown();
+        let core = handle.shutdown()?;
         report::selftest("DONE")
             .field("admitted", core.admitted())
             .emit();
@@ -593,7 +619,7 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         .emit();
 
     // Inference requests through the queue and the degradation ladder.
-    let handle = ServeHandle::start(core);
+    let handle = ServeHandle::start(core)?;
     for i in 0..requests {
         let resp = handle.infer(net.clone(), deadline)?;
         report::selftest("INFER")
@@ -609,7 +635,7 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             }
         }
     }
-    let core = handle.shutdown();
+    let core = handle.shutdown()?;
 
     // One stable machine-readable digest of the run's own metrics: the
     // schema-snapshot CI step asserts on these fields, and a human gets

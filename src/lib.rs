@@ -20,7 +20,8 @@
 //! | [`gcn`] | the GCN model, multi-stage cascade, sparse + recursive inference, (parallel) training |
 //! | [`mlbase`] | LR / RF / SVM / MLP baselines with cone features |
 //! | [`dft`] | logic simulation, CPT, ATPG, labeling, both OP-insertion flows |
-//! | [`lint`] | cross-crate static analysis: netlist, tensor and model invariants with stable rule ids |
+//! | [`lint`] | cross-crate static analysis of *runtime data*: netlist, tensor and model invariants with stable rule ids |
+//! | [`analyze`] | static analysis of the *source tree and artifacts*: panic/unsafe/atomics/cast policies with a ratchet, cross-artifact consistency |
 //! | [`runtime`] | resilience: checksummed checkpoint/resume, divergence guards, fault injection |
 //! | [`serve`] | long-lived service: bounded admission, deadlines, degradation ladder, write-ahead journaled flow jobs |
 //! | [`obs`] | observability: global metrics registry, counters/gauges/histograms, JSON + Prometheus snapshots |
@@ -49,6 +50,7 @@
 
 pub mod report;
 
+pub use gcnt_analyze as analyze;
 pub use gcnt_core as gcn;
 pub use gcnt_dft as dft;
 pub use gcnt_lint as lint;
