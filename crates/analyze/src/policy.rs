@@ -21,6 +21,8 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/core/src/",
     "crates/serve/src/",
     "crates/dft/src/",
+    "crates/runtime/src/",
+    "crates/store/src/",
 ];
 
 /// Whether the panic policy applies to this file at all.

@@ -76,13 +76,17 @@ impl GraphTensors {
             if use_pred {
                 for &u in net.fanin(v) {
                     pred_coo.push(v.index(), u.index(), 1.0);
-                    pred_lists[v.index()].push(u.index() as u32);
+                    if let Some(list) = pred_lists.get_mut(v.index()) {
+                        list.push(u.index() as u32);
+                    }
                 }
             }
             if use_succ {
                 for &u in net.fanout(v) {
                     succ_coo.push(v.index(), u.index(), 1.0);
-                    succ_lists[v.index()].push(u.index() as u32);
+                    if let Some(list) = succ_lists.get_mut(v.index()) {
+                        list.push(u.index() as u32);
+                    }
                 }
             }
         }
@@ -213,10 +217,14 @@ impl GraphTensors {
             // u; likewise for S. Using the cached transposes keeps this
             // O(degree) even when a direction was built empty.
             for (v, _) in self.pred_t.row(u) {
-                touched[v] = true;
+                if let Some(t) = touched.get_mut(v) {
+                    *t = true;
+                }
             }
             for (v, _) in self.succ_t.row(u) {
-                touched[v] = true;
+                if let Some(t) = touched.get_mut(v) {
+                    *t = true;
+                }
             }
         }
         touched
@@ -272,7 +280,9 @@ impl GraphTensors {
         self.succ_t = self.succ.transpose();
         self.pred_lists.push(vec![target.index() as u32]);
         self.succ_lists.push(Vec::new());
-        self.succ_lists[target.index()].push(op.index() as u32);
+        if let Some(list) = self.succ_lists.get_mut(target.index()) {
+            list.push(op.index() as u32);
+        }
         self.generation += 1;
         Ok(())
     }

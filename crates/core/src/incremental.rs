@@ -45,6 +45,35 @@ pub struct EmbeddingCache {
 }
 
 impl EmbeddingCache {
+    /// Rebuilds a cache from externally persisted layers (e.g. pages of a
+    /// warm-restart store). The layers must be `E_1..E_D` in order, all
+    /// with the same row count; `generation` is the graph generation they
+    /// were computed at, re-validated when the cache is next used.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::LengthMismatch`] if no layers are supplied, and
+    /// [`TensorError::ShapeMismatch`] if the layers disagree on row count.
+    pub fn from_layers(layers: Vec<Matrix>, generation: u64) -> Result<Self> {
+        let Some(first) = layers.first() else {
+            return Err(TensorError::LengthMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        };
+        let rows = first.rows();
+        for layer in &layers {
+            if layer.rows() != rows {
+                return Err(TensorError::ShapeMismatch {
+                    op: "EmbeddingCache::from_layers",
+                    lhs: (rows, first.cols()),
+                    rhs: layer.shape(),
+                });
+            }
+        }
+        Ok(EmbeddingCache { layers, generation })
+    }
+
     /// Generation of the graph state this cache was built against.
     pub fn generation(&self) -> u64 {
         self.generation
@@ -392,6 +421,88 @@ impl<'m> CascadeSession<'m> {
         Self::open(model.stages(), model.filter_threshold(), t, x, budget)
     }
 
+    /// Reopens a session from persisted per-stage caches (e.g. a warm
+    /// restart reloading embedding pages), running only the classifier
+    /// heads — no SpMM, no per-layer recompute. The resulting session is
+    /// indistinguishable from one opened fresh on the same graph state:
+    /// probabilities are recomputed from the cached final embeddings, so
+    /// they are bit-identical to [`CascadeSession::for_cascade`]'s.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::LengthMismatch`] if the cache count differs from
+    /// the stage count, [`TensorError::StaleCache`] if any cache was
+    /// built at a different graph generation, and
+    /// [`TensorError::ShapeMismatch`] if a cache's rows, depth, or
+    /// widths disagree with the graph and model.
+    pub fn from_caches(
+        model: &'m MultiStageGcn,
+        t: &GraphTensors,
+        x: &Matrix,
+        caches: Vec<EmbeddingCache>,
+    ) -> Result<Self> {
+        let stages = model.stages();
+        let n = t.node_count();
+        if caches.len() != stages.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: stages.len(),
+                actual: caches.len(),
+            });
+        }
+        if x.rows() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "CascadeSession::from_caches",
+                lhs: (n, x.cols()),
+                rhs: x.shape(),
+            });
+        }
+        for (gcn, cache) in stages.iter().zip(&caches) {
+            if cache.generation() != t.generation() {
+                return Err(TensorError::StaleCache {
+                    cache: cache.generation(),
+                    graph: t.generation(),
+                });
+            }
+            if cache.layers().len() != gcn.depth() {
+                return Err(TensorError::LengthMismatch {
+                    expected: gcn.depth(),
+                    actual: cache.layers().len(),
+                });
+            }
+            for layer in cache.layers() {
+                if layer.rows() != n {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "CascadeSession::from_caches",
+                        lhs: (n, layer.cols()),
+                        rhs: layer.shape(),
+                    });
+                }
+            }
+        }
+        let mut stage_probs = Vec::with_capacity(stages.len());
+        for (gcn, cache) in stages.iter().zip(&caches) {
+            let probs = ops::softmax_rows(&gcn.head().predict(cache.final_embedding())?);
+            stage_probs.push((0..n).map(|r| probs.get(r, 1)).collect());
+        }
+        let mut session = CascadeSession {
+            stages,
+            filter_threshold: model.filter_threshold(),
+            caches,
+            stage_probs,
+            probs: vec![0.0; n],
+        };
+        for r in 0..n {
+            session.probs[r] = session.combine_row(r);
+        }
+        Ok(session)
+    }
+
+    /// Consumes the session, handing back its per-stage embedding caches
+    /// so a caller can persist them (the warm-restart save path).
+    pub fn into_caches(self) -> Vec<EmbeddingCache> {
+        self.caches
+    }
+
     fn open(
         stages: &'m [Gcn],
         filter_threshold: f32,
@@ -703,6 +814,49 @@ mod tests {
         let single = CascadeSession::for_gcn(&gcn, &data.tensors, &data.features).unwrap();
         let reference = gcn.predict_proba(&data.tensors, &data.features).unwrap();
         assert_eq!(single.probs(), reference.as_slice());
+    }
+
+    #[test]
+    fn session_round_trips_through_persisted_caches() {
+        let (data, _) = design(21, 220);
+        let stages = vec![small_gcn(2, 71), small_gcn(1, 72)];
+        let model = MultiStageGcn::from_stages(stages, 0.25);
+        let reference = model.open_session(&data.tensors, &data.features).unwrap();
+        let expected = reference.probs().to_vec();
+        // Persist-and-restore: rebuild each cache from its raw layers, as
+        // a warm restart loading embedding pages would.
+        let caches: Vec<EmbeddingCache> = reference
+            .into_caches()
+            .into_iter()
+            .map(|c| {
+                let generation = c.generation();
+                EmbeddingCache::from_layers(c.layers().to_vec(), generation).unwrap()
+            })
+            .collect();
+        let warm =
+            CascadeSession::from_caches(&model, &data.tensors, &data.features, caches).unwrap();
+        assert_eq!(warm.probs(), expected.as_slice());
+
+        // Validation refuses mismatched inputs with typed errors.
+        assert!(matches!(
+            CascadeSession::from_caches(&model, &data.tensors, &data.features, Vec::new()),
+            Err(TensorError::LengthMismatch { .. })
+        ));
+        let stale: Vec<EmbeddingCache> = model
+            .open_session(&data.tensors, &data.features)
+            .unwrap()
+            .into_caches()
+            .into_iter()
+            .map(|c| EmbeddingCache::from_layers(c.layers().to_vec(), 7).unwrap())
+            .collect();
+        assert!(matches!(
+            CascadeSession::from_caches(&model, &data.tensors, &data.features, stale),
+            Err(TensorError::StaleCache { cache: 7, .. })
+        ));
+        assert!(matches!(
+            EmbeddingCache::from_layers(Vec::new(), 0),
+            Err(TensorError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Write-ahead journal rules: `JN001` per-record checksum integrity,
-//! `JN002` sequence continuity.
+//! `JN002` sequence continuity, `JN003` growth caps.
 //!
 //! The serve crate owns the journal *format*; this module only sees a
 //! plain [`JournalRecordMeta`] summary per record (mirroring how
@@ -55,9 +55,46 @@ pub fn lint_journal_records(path: &str, records: &[JournalRecordMeta]) -> LintRe
     report
 }
 
+/// Growth caps for a write-ahead journal. `None` disables a dimension.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalCaps {
+    /// Maximum live (uncompacted) records before `JN003` fires.
+    pub max_records: Option<u64>,
+    /// Maximum on-disk journal bytes before `JN003` fires.
+    pub max_bytes: Option<u64>,
+}
+
+/// Checks a journal's size against its caps: `JN003` fires (as a
+/// warning) per exceeded dimension. An unbounded journal on a long-lived
+/// job is a disk-space and replay-time liability; the fix is compaction,
+/// not data loss, hence warning severity.
+pub fn lint_journal_growth(path: &str, records: u64, bytes: u64, caps: &JournalCaps) -> LintReport {
+    let mut report = LintReport::new();
+    if let Some(cap) = caps.max_records {
+        if records > cap {
+            report.report(
+                RuleId::JournalGrowthCap,
+                path,
+                format!("{records} live records exceed the cap of {cap} — compact the journal"),
+            );
+        }
+    }
+    if let Some(cap) = caps.max_bytes {
+        if bytes > cap {
+            report.report(
+                RuleId::JournalGrowthCap,
+                path,
+                format!("{bytes} bytes on disk exceed the cap of {cap} — compact the journal"),
+            );
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::Severity;
 
     fn clean_stream(n: u64) -> Vec<JournalRecordMeta> {
         (0..n)
@@ -103,5 +140,31 @@ mod tests {
         records.swap(0, 2);
         let report = lint_journal_records("job.wal", &records);
         assert_eq!(report.of_rule(RuleId::JournalSequenceGap).count(), 2);
+    }
+
+    #[test]
+    fn growth_within_caps_is_clean() {
+        let caps = JournalCaps {
+            max_records: Some(100),
+            max_bytes: Some(1 << 20),
+        };
+        assert!(lint_journal_growth("job.wal", 100, 1 << 20, &caps).is_clean());
+        // Disabled dimensions never fire.
+        assert!(
+            lint_journal_growth("job.wal", u64::MAX, u64::MAX, &JournalCaps::default()).is_clean()
+        );
+    }
+
+    #[test]
+    fn growth_over_caps_fires_jn003_as_warning() {
+        let caps = JournalCaps {
+            max_records: Some(10),
+            max_bytes: Some(4096),
+        };
+        let report = lint_journal_growth("job.wal", 11, 5000, &caps);
+        assert_eq!(report.of_rule(RuleId::JournalGrowthCap).count(), 2);
+        assert!(!report.has_errors());
+        assert_eq!(report.count(Severity::Warning), 2);
+        assert_eq!(RuleId::JournalGrowthCap.code(), "JN003");
     }
 }

@@ -1,0 +1,142 @@
+//! Paged-store rules: `PG001` page integrity, `PG002` format version,
+//! `PG003` segment page references.
+//!
+//! The store crate owns the page *format*; this module only sees plain
+//! [`PageMeta`] / [`SegmentMeta`] summaries (mirroring how
+//! [`crate::CheckpointMeta`] and [`crate::JournalRecordMeta`] keep the
+//! linter free of runtime types), so `gcnt store scrub` can report every
+//! damaged page instead of stopping at the first typed error.
+
+use crate::report::{LintReport, RuleId};
+
+/// Format-level facts about one committed store page, as observed by
+/// whoever decoded the data file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Page index in the data file.
+    pub index: u64,
+    /// Checksum the page header stores (hex), or a marker when the
+    /// header itself is unreadable.
+    pub stored_checksum: String,
+    /// Checksum recomputed over the page payload (hex), or the decode
+    /// failure description when the page is unreadable.
+    pub computed_checksum: String,
+}
+
+/// Format-level facts about one committed segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Display name of the segment (design/kind/generation/range).
+    pub name: String,
+    /// Page indices the segment claims to live in.
+    pub pages: Vec<u64>,
+}
+
+/// Checks decoded pages: `PG001` fires per page whose stored checksum
+/// disagrees with its payload (or whose header failed to decode at all).
+///
+/// `path` names the data file in the findings' context.
+pub fn lint_store_pages(path: &str, pages: &[PageMeta]) -> LintReport {
+    let mut report = LintReport::new();
+    for page in pages {
+        if page.stored_checksum != page.computed_checksum {
+            report.report(
+                RuleId::PageChecksumMismatch,
+                path,
+                format!(
+                    "page {} stores checksum {} but verification found: {}",
+                    page.index, page.stored_checksum, page.computed_checksum
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// Checks segment directory references: `PG003` fires per segment that
+/// claims a page at or past the committed page count — bytes the
+/// metadata vouches for that the data file cannot hold.
+pub fn lint_store_segments(path: &str, segments: &[SegmentMeta], page_count: u64) -> LintReport {
+    let mut report = LintReport::new();
+    for seg in segments {
+        for &idx in &seg.pages {
+            if idx >= page_count {
+                report.report(
+                    RuleId::SegmentPageMissing,
+                    path,
+                    format!(
+                        "segment `{}` references page {idx} but only {page_count} pages are committed",
+                        seg.name
+                    ),
+                );
+            }
+        }
+    }
+    report
+}
+
+/// Checks the store metadata format version: `PG002` fires when it is
+/// not the supported one.
+pub fn lint_store_version(path: &str, version: u32, supported: u32) -> LintReport {
+    let mut report = LintReport::new();
+    if version != supported {
+        report.report(
+            RuleId::StoreVersionUnsupported,
+            path,
+            format!("store declares format version {version}; this build reads {supported}"),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(index: u64, stored: &str, computed: &str) -> PageMeta {
+        PageMeta {
+            index,
+            stored_checksum: stored.to_string(),
+            computed_checksum: computed.to_string(),
+        }
+    }
+
+    #[test]
+    fn clean_pages_and_segments_yield_empty_reports() {
+        let pages = vec![page(0, "aa", "aa"), page(1, "bb", "bb")];
+        assert!(lint_store_pages("pages.dat", &pages).is_clean());
+        let segs = vec![SegmentMeta {
+            name: "d/netlist@g0[0..10]".to_string(),
+            pages: vec![0, 1],
+        }];
+        assert!(lint_store_segments("pages.dat", &segs, 2).is_clean());
+        assert!(lint_store_version("store.json", 1, 1).is_clean());
+    }
+
+    #[test]
+    fn corrupt_page_fires_pg001() {
+        let pages = vec![page(0, "aa", "aa"), page(1, "bb", "checksum mismatch")];
+        let report = lint_store_pages("pages.dat", &pages);
+        assert_eq!(report.of_rule(RuleId::PageChecksumMismatch).count(), 1);
+        assert!(report.has_errors());
+        assert_eq!(RuleId::PageChecksumMismatch.code(), "PG001");
+    }
+
+    #[test]
+    fn dangling_segment_reference_fires_pg003() {
+        let segs = vec![SegmentMeta {
+            name: "d/embed@g2[0..100]".to_string(),
+            pages: vec![1, 7],
+        }];
+        let report = lint_store_segments("pages.dat", &segs, 2);
+        assert_eq!(report.of_rule(RuleId::SegmentPageMissing).count(), 1);
+        assert_eq!(RuleId::SegmentPageMissing.code(), "PG003");
+    }
+
+    #[test]
+    fn foreign_version_fires_pg002() {
+        let report = lint_store_version("store.json", 9, 1);
+        assert!(report.fired(RuleId::StoreVersionUnsupported));
+        assert_eq!(RuleId::StoreVersionUnsupported.code(), "PG002");
+    }
+}

@@ -141,6 +141,34 @@ pub const RULES: &[RuleDescriptor] = &[
         severity: Severity::Error,
         summary: "journal records are not consecutively numbered from zero",
     },
+    RuleDescriptor {
+        id: RuleId::JournalGrowthCap,
+        code: "JN003",
+        slug: "journal-growth-cap",
+        severity: Severity::Warning,
+        summary: "journal exceeds its configured record or byte cap (compact it)",
+    },
+    RuleDescriptor {
+        id: RuleId::PageChecksumMismatch,
+        code: "PG001",
+        slug: "page-checksum-mismatch",
+        severity: Severity::Error,
+        summary: "store page fails its integrity check (magic/length/checksum)",
+    },
+    RuleDescriptor {
+        id: RuleId::StoreVersionUnsupported,
+        code: "PG002",
+        slug: "store-version-unsupported",
+        severity: Severity::Error,
+        summary: "store metadata declares an unsupported format version",
+    },
+    RuleDescriptor {
+        id: RuleId::SegmentPageMissing,
+        code: "PG003",
+        slug: "segment-page-missing",
+        severity: Severity::Error,
+        summary: "segment references a page past the committed page count",
+    },
 ];
 
 /// Looks up the descriptor of a rule.
@@ -174,6 +202,7 @@ mod tests {
         assert!(RULES.iter().any(|r| r.code.starts_with("CK")));
         assert!(RULES.iter().any(|r| r.code.starts_with("EC")));
         assert!(RULES.iter().any(|r| r.code.starts_with("JN")));
-        assert_eq!(RULES.len(), 17);
+        assert!(RULES.iter().any(|r| r.code.starts_with("PG")));
+        assert_eq!(RULES.len(), 21);
     }
 }

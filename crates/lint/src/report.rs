@@ -85,6 +85,19 @@ pub enum RuleId {
     /// `JN002 journal-sequence-gap`: write-ahead journal records are not
     /// consecutively numbered from zero (a record was lost or reordered).
     JournalSequenceGap,
+    /// `JN003 journal-growth-cap`: a write-ahead journal has outgrown its
+    /// configured record-count or byte-size cap and should be compacted.
+    JournalGrowthCap,
+    /// `PG001 page-checksum-mismatch`: a committed store page fails its
+    /// integrity check (bad magic, length out of range, or checksum
+    /// mismatch).
+    PageChecksumMismatch,
+    /// `PG002 store-version-unsupported`: store metadata declares a
+    /// format version this build does not read.
+    StoreVersionUnsupported,
+    /// `PG003 segment-page-missing`: a committed segment references a
+    /// page index past the store's committed page count.
+    SegmentPageMissing,
 }
 
 impl RuleId {

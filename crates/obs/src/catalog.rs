@@ -236,6 +236,13 @@ declare_counters! {
     /// Journaled batches replayed on flow-job resume.
     SERVE_JOURNAL_REPLAYED => "gcnt_serve_journal_replayed_batches_total",
         "Journaled batches replayed when resuming flow jobs";
+    /// Embedding rows persisted to the page store after warm inference.
+    SERVE_STORE_ROWS_SAVED => "gcnt_serve_store_rows_saved_total",
+        "Embedding rows persisted to the page store";
+    /// Embedding rows reloaded from the page store on warm restart,
+    /// instead of being recomputed.
+    SERVE_STORE_ROWS_LOADED => "gcnt_serve_store_rows_loaded_total",
+        "Embedding rows reloaded from the page store (recompute avoided)";
 
     // --- runtime: checkpoints and divergence guards ---
     /// Training checkpoints written.
@@ -261,6 +268,23 @@ declare_counters! {
     /// Classical-baseline model fits (LR / RF / SVM / MLP).
     MLBASE_FITS => "gcnt_mlbase_fits_total",
         "Classical baseline model fits";
+
+    // --- store: the crash-safe page store ---
+    /// Pages read from the data file (cache misses; hits cost nothing).
+    STORE_PAGE_READS => "gcnt_store_page_reads_total",
+        "Store pages read from disk (page-cache misses)";
+    /// Pages written to the data file (appends and compaction copies).
+    STORE_PAGE_WRITES => "gcnt_store_page_writes_total",
+        "Store pages written to disk";
+    /// Pages evicted from the bounded page cache.
+    STORE_PAGE_EVICTIONS => "gcnt_store_page_cache_evictions_total",
+        "Pages evicted from the bounded page cache";
+    /// Integrity-check failures (page, segment, or metadata checksums).
+    STORE_CHECKSUM_FAILURES => "gcnt_store_checksum_failures_total",
+        "Store integrity-check failures (page/segment/metadata checksums)";
+    /// Compaction runs completed (data-file generation switches).
+    STORE_COMPACTIONS => "gcnt_store_compactions_total",
+        "Store compaction runs completed";
 }
 
 declare_gauges! {
@@ -288,6 +312,12 @@ declare_gauges! {
     /// High-water mark of the bounded-queue depth.
     SERVE_QUEUE_DEPTH_HIGH_WATER => "gcnt_serve_queue_depth_high_water",
         "High-water mark of the bounded-queue depth";
+    /// Live (uncompacted) records in the current flow journal.
+    SERVE_JOURNAL_RECORDS => "gcnt_serve_journal_records",
+        "Live records in the current flow journal";
+    /// On-disk bytes of the current flow journal file.
+    SERVE_JOURNAL_BYTES => "gcnt_serve_journal_bytes",
+        "On-disk bytes of the current flow journal file";
 }
 
 declare_histograms! {
@@ -309,6 +339,9 @@ declare_histograms! {
     /// Wall-clock latency per flow iteration.
     DFT_FLOW_ITERATION_NS => "gcnt_dft_flow_iteration_ns",
         "OP-insertion flow iteration latency (ns)", NS_BUCKETS;
+    /// Journal records folded into pages per compaction run.
+    STORE_COMPACTION_RECORDS => "gcnt_store_compaction_records",
+        "Journal records folded into store pages per compaction", ROW_BUCKETS;
 }
 
 /// Number of counters in the catalog.

@@ -33,7 +33,6 @@
 
 use std::fmt;
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
@@ -174,15 +173,9 @@ impl std::error::Error for CheckpointError {
 
 /// FNV-1a 64-bit hash — small, dependency-free, and byte-order stable,
 /// which is all a corruption check needs (this is not a cryptographic
-/// integrity guarantee).
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// integrity guarantee). Re-exported from `gcnt-store`, which owns the
+/// checksum primitive the whole workspace shares.
+pub use gcnt_store::fnv1a64;
 
 fn checksum_hex(payload: &str) -> String {
     format!("{:016x}", fnv1a64(payload.as_bytes()))
@@ -191,29 +184,20 @@ fn checksum_hex(payload: &str) -> String {
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
 /// fsync, then rename over the final name. Readers never observe a torn
 /// file, and a crash mid-write leaves the previous contents intact.
+/// Delegates to `gcnt-store`'s implementation, mapping its error into
+/// [`CheckpointError`] to keep this crate's public API unchanged.
 ///
 /// # Errors
 ///
 /// Returns the underlying io error, tagged with the path it hit.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
-    let io_err = |p: &Path| {
-        let path = p.to_path_buf();
-        move |source| CheckpointError::Io { path, source }
-    };
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = fs::File::create(&tmp).map_err(io_err(&tmp))?;
-        f.write_all(bytes).map_err(io_err(&tmp))?;
-        f.sync_all().map_err(io_err(&tmp))?;
-    }
-    fs::rename(&tmp, path).map_err(io_err(path))?;
-    // Best-effort directory fsync so the rename itself is durable.
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    gcnt_store::atomic_write(path, bytes).map_err(|e| match e {
+        gcnt_store::StoreError::Io { path, source } => CheckpointError::Io { path, source },
+        other => CheckpointError::Malformed {
+            path: path.to_path_buf(),
+            detail: other.to_string(),
+        },
+    })
 }
 
 /// A directory of checkpoints, pruned to the newest `keep` files.
@@ -303,11 +287,10 @@ impl CheckpointStore {
         gcnt_obs::global().incr(gcnt_obs::counters::RUNTIME_CHECKPOINTS_WRITTEN);
         // Prune, never removing the file just written.
         let files = self.list()?;
-        if files.len() > self.keep {
-            for old in &files[..files.len() - self.keep] {
-                if old != &path {
-                    let _ = fs::remove_file(old);
-                }
+        let excess = files.len().saturating_sub(self.keep);
+        for old in files.iter().take(excess) {
+            if old != &path {
+                let _ = fs::remove_file(old);
             }
         }
         Ok(path)

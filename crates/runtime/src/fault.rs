@@ -38,6 +38,10 @@ pub struct FaultPlan {
     cache_poison_request: Option<u64>,
     #[cfg(feature = "fault-inject")]
     kill_after_record: Option<u64>,
+    #[cfg(feature = "fault-inject")]
+    store_disk_full_after: Option<u64>,
+    #[cfg(feature = "fault-inject")]
+    kill_mid_compaction: bool,
 }
 
 impl FaultPlan {
@@ -71,7 +75,9 @@ impl FaultPlan {
         #[cfg(feature = "fault-inject")]
         if self.nan_grad_epoch == Some(epoch) {
             self.nan_grad_epoch = None;
-            grads.agg_weights[0] = f32::NAN;
+            if let Some(w) = grads.agg_weights.first_mut() {
+                *w = f32::NAN;
+            }
         }
         let _ = (epoch, grads);
     }
@@ -181,12 +187,56 @@ impl FaultPlan {
         }
     }
 
+    /// Fails every page-store write after the first `n` with a simulated
+    /// disk-full error.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_store_disk_full_after(mut self, n: u64) -> Self {
+        self.store_disk_full_after = Some(n);
+        self
+    }
+
+    /// Aborts the process between a journal compaction's store commit and
+    /// its journal rewrite — a deterministic `kill -9` at the worst moment
+    /// of the compaction protocol.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_kill_mid_compaction(mut self) -> Self {
+        self.kill_mid_compaction = true;
+        self
+    }
+
+    /// Store hook: the injected disk-full threshold (page writes allowed
+    /// before writes start failing), if any.
+    pub fn store_disk_full_after(&self) -> Option<u64> {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.store_disk_full_after
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            None
+        }
+    }
+
+    /// Store hook: whether the process should abort mid-compaction, after
+    /// the store commit but before the journal rewrite.
+    pub fn should_kill_mid_compaction(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.kill_mid_compaction
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            false
+        }
+    }
+
     /// Parses a plan from JSON, e.g.
     /// `{"latency_multiplier": 10, "kill_after_record": 1}`. Recognised
     /// keys: `nan_grad_epoch`, `kill_worker` (`[epoch, worker]`),
     /// `latency_multiplier`, `queue_saturation` (bool),
-    /// `cache_poison_request`, `kill_after_record`. Unknown keys are
-    /// rejected so a typo cannot silently disable a planned fault.
+    /// `cache_poison_request`, `kill_after_record`,
+    /// `store_disk_full_after`, `kill_mid_compaction` (bool). Unknown keys
+    /// are rejected so a typo cannot silently disable a planned fault.
     ///
     /// Only available with the `fault-inject` feature: a production build
     /// cannot be handed a fault plan at all.
@@ -215,11 +265,14 @@ impl FaultPlan {
             match key.as_str() {
                 "nan_grad_epoch" => plan.nan_grad_epoch = Some(as_u64(v, key)? as usize),
                 "kill_worker" => match v {
-                    Value::Array(pair) if pair.len() == 2 => {
-                        let epoch = as_u64(&pair[0], key)? as usize;
-                        let worker = as_u64(&pair[1], key)? as usize;
-                        plan.kill_worker = Some((epoch, worker));
-                    }
+                    Value::Array(pair) => match pair.as_slice() {
+                        [epoch, worker] => {
+                            let epoch = as_u64(epoch, key)? as usize;
+                            let worker = as_u64(worker, key)? as usize;
+                            plan.kill_worker = Some((epoch, worker));
+                        }
+                        _ => return Err("`kill_worker` must be `[epoch, worker]`".to_string()),
+                    },
                     _ => return Err("`kill_worker` must be `[epoch, worker]`".to_string()),
                 },
                 "latency_multiplier" => {
@@ -231,6 +284,13 @@ impl FaultPlan {
                 },
                 "cache_poison_request" => plan.cache_poison_request = Some(as_u64(v, key)?),
                 "kill_after_record" => plan.kill_after_record = Some(as_u64(v, key)?),
+                "store_disk_full_after" => {
+                    plan.store_disk_full_after = Some(as_u64(v, key)?);
+                }
+                "kill_mid_compaction" => match v {
+                    Value::Bool(b) => plan.kill_mid_compaction = *b,
+                    _ => return Err("`kill_mid_compaction` must be a boolean".to_string()),
+                },
                 other => return Err(format!("unknown fault plan field `{other}`")),
             }
         }
@@ -275,6 +335,8 @@ mod tests {
         assert!(!plan.queue_saturated());
         assert!(!plan.take_cache_poison(0));
         assert!(!plan.should_kill_after_record(0));
+        assert_eq!(plan.store_disk_full_after(), None);
+        assert!(!plan.should_kill_mid_compaction());
         let gcn = gcnt_core::Gcn::new(
             &gcnt_core::GcnConfig {
                 embed_dims: vec![2],
@@ -343,13 +405,25 @@ mod tests {
         let plan = FaultPlan::from_json(
             r#"{"latency_multiplier": 10, "queue_saturation": true,
                 "cache_poison_request": 3, "kill_after_record": 1,
-                "nan_grad_epoch": 2, "kill_worker": [1, 0]}"#,
+                "nan_grad_epoch": 2, "kill_worker": [1, 0],
+                "store_disk_full_after": 2, "kill_mid_compaction": true}"#,
         )
         .unwrap();
         assert_eq!(plan.latency_multiplier(), 10);
         assert!(plan.queue_saturated());
         assert!(plan.should_kill_after_record(1));
         assert!(plan.should_kill(1, 0));
+        assert_eq!(plan.store_disk_full_after(), Some(2));
+        assert!(plan.should_kill_mid_compaction());
+        assert_eq!(
+            FaultPlan::none()
+                .with_store_disk_full_after(5)
+                .store_disk_full_after(),
+            Some(5)
+        );
+        assert!(FaultPlan::none()
+            .with_kill_mid_compaction()
+            .should_kill_mid_compaction());
 
         assert_eq!(FaultPlan::from_json("{}").unwrap().latency_multiplier(), 1);
         assert!(FaultPlan::from_json(r#"{"typo_field": 1}"#).is_err());

@@ -97,7 +97,9 @@ impl<'a> MultiStageTrainer<'a> {
                 load_findings = findings;
                 match state {
                     Some(state) if state.rng.is_some() => {
-                        rng = state.rng.clone().expect("checked above");
+                        if let Some(saved) = state.rng.clone() {
+                            rng = saved;
+                        }
                         active = state.active.clone();
                         completed = state.completed.clone();
                         reports = state.reports.clone();
@@ -136,7 +138,11 @@ impl<'a> MultiStageTrainer<'a> {
             let positives: usize = graphs
                 .iter()
                 .zip(&active)
-                .map(|(g, mask)| mask.iter().filter(|&&i| g.labels[i] == 1).count())
+                .map(|(g, mask)| {
+                    mask.iter()
+                        .filter(|&&i| g.labels.get(i) == Some(&1))
+                        .count()
+                })
                 .sum();
             let negatives = total_active.saturating_sub(positives);
             let pos_weight = if positives == 0 {
@@ -190,7 +196,11 @@ impl<'a> MultiStageTrainer<'a> {
             for (g, mask) in graphs.iter().zip(active.iter_mut()) {
                 let probs = gcn.predict_proba(&g.tensors, &g.features)?;
                 let before = mask.len();
-                mask.retain(|&i| probs[i] >= self.cfg.filter_threshold);
+                mask.retain(|&i| {
+                    probs
+                        .get(i)
+                        .is_some_and(|&p| p >= self.cfg.filter_threshold)
+                });
                 filtered += before - mask.len();
             }
             reports.push(StageReport {
@@ -202,13 +212,13 @@ impl<'a> MultiStageTrainer<'a> {
             });
             completed.push(gcn);
 
-            if let Some(store) = self.store {
+            if let (Some(store), Some(last)) = (self.store, completed.last()) {
                 store.save(&TrainState {
                     stage: stage + 1,
                     epoch: 0,
                     lr: self.cfg.lr,
                     retries_used: 0,
-                    model: completed.last().expect("just pushed").clone(),
+                    model: last.clone(),
                     optimizer: None,
                     history: Vec::new(),
                     completed: completed.clone(),

@@ -29,6 +29,12 @@ pub enum ServeError {
     /// The write-ahead journal could not be read, verified, or appended
     /// to.
     Journal(String),
+    /// The page store backing journal compaction or warm-restart
+    /// embeddings failed in a way that cannot be healed in place —
+    /// a missing or corrupt journal segment, a failed commit, or a
+    /// full disk. Never silent: anything the store *can* recover
+    /// (torn tails, quarantined pages) is handled before this fires.
+    Store(String),
     /// A journaled flow job failed. Batches the journal captured before
     /// the failure stay committed; a rerun resumes from them.
     Flow(FlowError),
@@ -57,6 +63,7 @@ impl fmt::Display for ServeError {
             ),
             ServeError::Load(e) => write!(f, "load failed after retries: {e}"),
             ServeError::Journal(e) => write!(f, "journal error: {e}"),
+            ServeError::Store(e) => write!(f, "store error: {e}"),
             ServeError::Flow(e) => write!(f, "flow job failed: {e}"),
             ServeError::Tensor(e) => write!(f, "inference failed: {e}"),
             ServeError::WorkerGone => write!(f, "serve worker thread is gone"),

@@ -31,6 +31,28 @@
 //! [`gcnt_lint::lint_journal_records`] (`JN001` checksum integrity,
 //! `JN002` sequence continuity) before a single batch is replayed.
 //!
+//! # Compaction (opt-in, store-backed)
+//!
+//! A journal opened with [`FlowJournal::open_with_store`] may be
+//! *compacted*: its committed record prefix moves into a checksummed
+//! [`gcnt_store::PageStore`] segment, and the file shrinks to the header
+//! plus one marker line:
+//!
+//! ```text
+//! {"version":1,"design":...}                                  <- header
+//! {"compacted_through":N,"segment_checksum":"<16 hex>"}       <- marker
+//! {"seq":N,"checksum":...}                                    <- live tail
+//! ```
+//!
+//! This bounds journal growth: the tail is folded into pages every
+//! [`crate::StorePolicy::compact_after_records`] records. The commit
+//! order is store-segment first, file-rewrite second, so a kill between
+//! the two leaves a *superset* segment plus the still-complete tail —
+//! recovery takes the marker's prefix from the segment and the rest from
+//! the file, and the next compaction overwrites the stale extra. A
+//! compacted journal opened **without** its store refuses loudly (the
+//! prefix is unreachable, and guessing would silently lose records).
+//!
 //! # Versioning
 //!
 //! [`JOURNAL_VERSION`] is bumped on any breaking change to the line
@@ -44,9 +66,12 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 
 use gcnt_dft::flow::{BatchRecord, FlowConfig};
-use gcnt_lint::{lint_journal_records, JournalRecordMeta};
+use gcnt_lint::{
+    lint_journal_growth, lint_journal_records, JournalCaps, JournalRecordMeta, LintReport,
+};
 use gcnt_netlist::{format, Netlist};
-use gcnt_runtime::{atomic_write, fnv1a64};
+use gcnt_runtime::{atomic_write, fnv1a64, FaultPlan};
+use gcnt_store::{PageStore, SegmentKey};
 
 use crate::error::ServeError;
 
@@ -94,6 +119,32 @@ struct RecordLine {
     payload: BatchRecord,
 }
 
+/// The marker line a compaction leaves behind: records `0..compacted_through`
+/// live in the store segment whose first `compacted_through` lines hash to
+/// `segment_checksum`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct CompactionMarker {
+    compacted_through: u64,
+    segment_checksum: String,
+}
+
+/// Segment kind under which a journal's compacted prefix is stored.
+pub const JOURNAL_SEGMENT_KIND: &str = "journal";
+
+/// The store key of a journal's compacted prefix. `start`/`end` are fixed
+/// at zero: the authoritative record count is the marker's
+/// `compacted_through`, which lets an interrupted compaction leave a
+/// superset segment behind without changing the key.
+fn journal_segment_key(header: &JournalHeader) -> SegmentKey {
+    SegmentKey {
+        design: format!("{}-{}", header.design_checksum, header.flow_checksum),
+        kind: JOURNAL_SEGMENT_KIND.to_string(),
+        generation: 0,
+        start: 0,
+        end: 0,
+    }
+}
+
 fn checksum_hex(bytes: &[u8]) -> String {
     format!("{:016x}", fnv1a64(bytes))
 }
@@ -110,6 +161,23 @@ pub struct FlowJournal {
     file: fs::File,
     path: PathBuf,
     next_seq: u64,
+    /// On-disk size of the journal file, kept current across appends and
+    /// compactions (feeds the `gcnt_serve_journal_bytes` gauge and JN003).
+    bytes: u64,
+    /// Present iff the journal was opened with a store; plain journals
+    /// never compact and never buffer tail lines.
+    compaction: Option<CompactionState>,
+}
+
+/// Compaction bookkeeping for a store-backed journal.
+#[derive(Debug)]
+struct CompactionState {
+    header: JournalHeader,
+    /// Records already folded into the store segment.
+    compacted_through: u64,
+    /// Serialized record lines appended (or recovered) since the last
+    /// compaction — exactly what the next compaction folds.
+    tail_lines: Vec<String>,
 }
 
 /// The result of opening a journal: the append handle plus whatever a
@@ -157,14 +225,181 @@ impl FlowJournal {
             (Vec::new(), false)
         };
         let file = fs::OpenOptions::new().append(true).open(path).map_err(io)?;
+        let bytes = fs::metadata(path).map_err(io)?.len();
+        let journal = FlowJournal {
+            file,
+            path: path.to_path_buf(),
+            next_seq: records.len() as u64,
+            bytes,
+            compaction: None,
+        };
+        journal.publish_gauges();
         Ok(Recovered {
-            journal: FlowJournal {
-                file,
-                path: path.to_path_buf(),
-                next_seq: records.len() as u64,
-            },
+            journal,
             records,
             dropped_torn_tail,
+        })
+    }
+
+    /// Opens (or creates) the journal with a backing page store, enabling
+    /// compaction: on a compacted journal, the marker's record prefix is
+    /// loaded back out of the store's checksummed segment and verified
+    /// together with the file's live tail.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`FlowJournal::open`] raises, plus
+    /// [`ServeError::Store`] if the compacted prefix is missing from the
+    /// store, fails its checksums, or disagrees with the marker.
+    pub fn open_with_store(
+        path: &Path,
+        header: &JournalHeader,
+        store: &mut PageStore,
+    ) -> Result<Recovered, ServeError> {
+        let io = |e: std::io::Error| ServeError::Journal(format!("{}: {e}", path.display()));
+        let bad = |what: String| ServeError::Journal(format!("{}: {what}", path.display()));
+        if !path.exists() {
+            let first = header_line(header)?;
+            atomic_write(path, first.as_bytes()).map_err(|e| ServeError::Journal(e.to_string()))?;
+            let file = fs::OpenOptions::new().append(true).open(path).map_err(io)?;
+            let journal = FlowJournal {
+                file,
+                path: path.to_path_buf(),
+                next_seq: 0,
+                bytes: first.len() as u64,
+                compaction: Some(CompactionState {
+                    header: header.clone(),
+                    compacted_through: 0,
+                    tail_lines: Vec::new(),
+                }),
+            };
+            journal.publish_gauges();
+            return Ok(Recovered {
+                journal,
+                records: Vec::new(),
+                dropped_torn_tail: false,
+            });
+        }
+
+        let text = fs::read_to_string(path).map_err(io)?;
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let first = lines
+            .next()
+            .ok_or_else(|| bad("empty journal file (missing header)".to_string()))?;
+        verify_header(path, header, first)?;
+        let rest: Vec<&str> = lines.collect();
+        let (marker, tail_raw) = match rest.first() {
+            Some(line) => match serde_json::from_str::<CompactionMarker>(line) {
+                Ok(m) => (Some(m), &rest[1..]),
+                Err(_) => (None, &rest[..]),
+            },
+            None => (None, &rest[..]),
+        };
+
+        // Prefix: the marker's first `compacted_through` segment lines.
+        // The segment may hold *more* (a compaction killed between its
+        // store commit and the file rewrite); the extra lines are the
+        // same records the tail still carries and are simply ignored.
+        let mut parsed: Vec<RecordLine> = Vec::new();
+        let compacted_through = marker.as_ref().map_or(0, |m| m.compacted_through);
+        if let Some(m) = &marker {
+            let key = journal_segment_key(header);
+            let seg = |what: String| {
+                ServeError::Store(format!("journal segment {}: {what}", key.display()))
+            };
+            let bytes = store
+                .get_segment(&key)
+                .map_err(|e| seg(e.to_string()))?
+                .ok_or_else(|| seg("compacted record prefix is missing from the store".into()))?;
+            let seg_text =
+                String::from_utf8(bytes).map_err(|e| seg(format!("segment is not UTF-8: {e}")))?;
+            let mut prefix = String::new();
+            let mut taken = 0u64;
+            for line in seg_text.lines().take(m.compacted_through as usize) {
+                prefix.push_str(line);
+                prefix.push('\n');
+                taken += 1;
+            }
+            if taken < m.compacted_through {
+                return Err(seg(format!(
+                    "segment holds {taken} record(s), marker promises {}",
+                    m.compacted_through
+                )));
+            }
+            if checksum_hex(prefix.as_bytes()) != m.segment_checksum {
+                return Err(seg(
+                    "compacted prefix does not match the marker checksum".into()
+                ));
+            }
+            for (i, line) in prefix.lines().enumerate() {
+                let rec: RecordLine = serde_json::from_str(line)
+                    .map_err(|e| seg(format!("unreadable compacted record {i}: {e}")))?;
+                parsed.push(rec);
+            }
+        }
+
+        // Tail: live records in the file, torn-tail tolerant like `open`.
+        let mut torn = false;
+        for (i, line) in tail_raw.iter().enumerate() {
+            match serde_json::from_str::<RecordLine>(line) {
+                Ok(rec) => parsed.push(rec),
+                Err(e) => {
+                    if serde_json::from_str::<CompactionMarker>(line).is_ok() {
+                        return Err(bad(
+                            "compaction marker after record lines (corrupted journal)".into(),
+                        ));
+                    }
+                    if i + 1 == tail_raw.len() {
+                        let _ = e;
+                        torn = true;
+                    } else {
+                        return Err(bad(format!("unreadable record at line {}: {e}", i + 2)));
+                    }
+                }
+            }
+        }
+        if !torn && parsed.len() as u64 > compacted_through {
+            if let Some(last) = parsed.last() {
+                if payload_checksum(&last.payload)? != last.checksum {
+                    parsed.pop();
+                    torn = true;
+                }
+            }
+        }
+        validate_records(path, &parsed)?;
+
+        let mut tail_lines = Vec::new();
+        for r in parsed.iter().skip(compacted_through as usize) {
+            tail_lines.push(record_line(r.seq, &r.payload)?);
+        }
+        if torn {
+            let mut clean = header_line(header)?;
+            if let Some(m) = &marker {
+                clean.push_str(&marker_line(m)?);
+            }
+            for line in &tail_lines {
+                clean.push_str(line);
+            }
+            atomic_write(path, clean.as_bytes()).map_err(|e| ServeError::Journal(e.to_string()))?;
+        }
+        let file = fs::OpenOptions::new().append(true).open(path).map_err(io)?;
+        let bytes = fs::metadata(path).map_err(io)?.len();
+        let journal = FlowJournal {
+            file,
+            path: path.to_path_buf(),
+            next_seq: parsed.len() as u64,
+            bytes,
+            compaction: Some(CompactionState {
+                header: header.clone(),
+                compacted_through,
+                tail_lines,
+            }),
+        };
+        journal.publish_gauges();
+        Ok(Recovered {
+            journal,
+            records: parsed.into_iter().map(|r| r.payload).collect(),
+            dropped_torn_tail: torn,
         })
     }
 
@@ -179,20 +414,7 @@ impl FlowJournal {
         let first = lines
             .next()
             .ok_or_else(|| bad("empty journal file (missing header)".to_string()))?;
-        let stored: JournalHeader = serde_json::from_str(first)
-            .map_err(|e| bad(format!("unreadable journal header: {e}")))?;
-        if stored.version != JOURNAL_VERSION {
-            return Err(bad(format!(
-                "journal format version {} is not supported (this build reads version {JOURNAL_VERSION})",
-                stored.version
-            )));
-        }
-        if stored != *header {
-            return Err(bad(format!(
-                "journal belongs to a different job (design `{}`, checksums {}/{})",
-                stored.design, stored.design_checksum, stored.flow_checksum
-            )));
-        }
+        verify_header(path, header, first)?;
 
         let lines: Vec<&str> = lines.collect();
         let mut parsed: Vec<RecordLine> = Vec::with_capacity(lines.len());
@@ -200,12 +422,25 @@ impl FlowJournal {
         for (i, line) in lines.iter().enumerate() {
             match serde_json::from_str::<RecordLine>(line) {
                 Ok(rec) => parsed.push(rec),
-                // Only the final line may be torn; earlier damage is real.
-                Err(e) if i + 1 == lines.len() => {
-                    let _ = e;
-                    torn = true;
+                Err(e) => {
+                    // A compaction marker is NOT a torn tail: the record
+                    // prefix lives in a page store this opener was not
+                    // given, and treating it as damage would silently
+                    // drop committed records.
+                    if serde_json::from_str::<CompactionMarker>(line).is_ok() {
+                        return Err(bad("journal was compacted into a page store; \
+                             open it with its store"
+                            .to_string()));
+                    }
+                    // Only the final line may be torn; earlier damage is
+                    // real.
+                    if i + 1 == lines.len() {
+                        let _ = e;
+                        torn = true;
+                    } else {
+                        return Err(bad(format!("unreadable record at line {}: {e}", i + 2)));
+                    }
                 }
-                Err(e) => return Err(bad(format!("unreadable record at line {}: {e}", i + 2))),
             }
         }
         // A complete-looking final line whose checksum fails is the same
@@ -218,19 +453,7 @@ impl FlowJournal {
                 }
             }
         }
-
-        let mut metas: Vec<JournalRecordMeta> = Vec::with_capacity(parsed.len());
-        for r in &parsed {
-            metas.push(JournalRecordMeta {
-                seq: r.seq,
-                stored_checksum: r.checksum.clone(),
-                computed_checksum: payload_checksum(&r.payload)?,
-            });
-        }
-        let report = lint_journal_records(&path.display().to_string(), &metas);
-        if report.has_errors() {
-            return Err(bad(format!("journal failed validation:\n{report}")));
-        }
+        validate_records(path, &parsed)?;
         Ok((parsed.into_iter().map(|r| r.payload).collect(), torn))
     }
 
@@ -257,24 +480,204 @@ impl FlowJournal {
         fsync_span.finish();
         gcnt_obs::global().incr(gcnt_obs::counters::SERVE_JOURNAL_APPENDS);
         self.next_seq += 1;
+        self.bytes += line.len() as u64;
+        if let Some(state) = &mut self.compaction {
+            state.tail_lines.push(line);
+        }
+        self.publish_gauges();
         Ok(seq)
     }
 
-    /// Sequence number the next appended record will get (= records on
-    /// disk).
+    /// Folds every live tail record into the backing store's journal
+    /// segment and shrinks the file to header + marker; returns how many
+    /// records were folded (0 if the tail was already empty).
+    ///
+    /// Commit order is segment-then-file: the store's segment (its own
+    /// fsync + metadata commit) lands before the file rewrite, and `plan`
+    /// may inject a deterministic `kill -9` *between* the two — the
+    /// crash-window [`FlowJournal::open_with_store`] recovers from.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] if the journal was opened without a store or
+    /// the segment cannot be read/written (including injected disk-full);
+    /// [`ServeError::Journal`] if the file rewrite fails. On error the
+    /// journal file is untouched and still replayable.
+    pub fn compact_into(
+        &mut self,
+        store: &mut PageStore,
+        plan: &FaultPlan,
+    ) -> Result<u64, ServeError> {
+        let state = self.compaction.as_mut().ok_or_else(|| {
+            ServeError::Store("journal was opened without a store; cannot compact".to_string())
+        })?;
+        if state.tail_lines.is_empty() {
+            return Ok(0);
+        }
+        let key = journal_segment_key(&state.header);
+        let seg =
+            |what: String| ServeError::Store(format!("journal segment {}: {what}", key.display()));
+        // Prefix already in the store (first `compacted_through` lines;
+        // anything past that is leftovers of an interrupted compaction).
+        let mut segment = String::new();
+        if state.compacted_through > 0 {
+            let bytes = store
+                .get_segment(&key)
+                .map_err(|e| seg(e.to_string()))?
+                .ok_or_else(|| seg("compacted record prefix is missing from the store".into()))?;
+            let text =
+                String::from_utf8(bytes).map_err(|e| seg(format!("segment is not UTF-8: {e}")))?;
+            let mut taken = 0u64;
+            for line in text.lines().take(state.compacted_through as usize) {
+                segment.push_str(line);
+                segment.push('\n');
+                taken += 1;
+            }
+            if taken < state.compacted_through {
+                return Err(seg(format!(
+                    "segment holds {taken} record(s), journal expects {}",
+                    state.compacted_through
+                )));
+            }
+        }
+        for line in &state.tail_lines {
+            segment.push_str(line);
+        }
+        let folded = state.tail_lines.len() as u64;
+        let new_through = self.next_seq;
+
+        // 1. Commit the grown segment (fsynced pages + metadata rename).
+        store
+            .put_segment(&key, segment.as_bytes())
+            .map_err(|e| seg(e.to_string()))?;
+        // 2. The injected crash window: segment committed, file not yet
+        //    rewritten. A real kill here leaves the full tail in the file
+        //    and a superset segment in the store — both recoverable.
+        if plan.should_kill_mid_compaction() {
+            std::process::abort();
+        }
+        // 3. Shrink the file to header + marker, atomically.
+        let marker = CompactionMarker {
+            compacted_through: new_through,
+            segment_checksum: checksum_hex(segment.as_bytes()),
+        };
+        let mut clean = header_line(&state.header)?;
+        clean.push_str(&marker_line(&marker)?);
+        atomic_write(&self.path, clean.as_bytes())
+            .map_err(|e| ServeError::Journal(e.to_string()))?;
+        // 4. The rename replaced the inode under our append handle —
+        //    reopen so future appends land in the live file.
+        self.file = fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| ServeError::Journal(format!("{}: {e}", self.path.display())))?;
+        state.compacted_through = new_through;
+        state.tail_lines.clear();
+        self.bytes = clean.len() as u64;
+        gcnt_obs::global().observe(gcnt_obs::histograms::STORE_COMPACTION_RECORDS, folded);
+        self.publish_gauges();
+        Ok(folded)
+    }
+
+    /// Sequence number the next appended record will get (= committed
+    /// records, on disk and in the store combined).
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Records currently living in the journal *file* (the compaction
+    /// trigger); equals [`FlowJournal::next_seq`] for plain journals.
+    pub fn live_records(&self) -> u64 {
+        self.next_seq - self.compacted_through()
+    }
+
+    /// Records already folded into the backing store (0 for plain
+    /// journals).
+    pub fn compacted_through(&self) -> u64 {
+        self.compaction.as_ref().map_or(0, |s| s.compacted_through)
+    }
+
+    /// Current on-disk size of the journal file.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Checks the journal's live size against growth caps (`JN003`).
+    pub fn growth_report(&self, caps: &JournalCaps) -> LintReport {
+        lint_journal_growth(
+            &self.path.display().to_string(),
+            self.live_records(),
+            self.bytes,
+            caps,
+        )
     }
 
     /// The journal's path.
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    fn publish_gauges(&self) {
+        let obs = gcnt_obs::global();
+        obs.gauge_set(
+            gcnt_obs::gauges::SERVE_JOURNAL_RECORDS,
+            self.live_records() as f64,
+        );
+        obs.gauge_set(gcnt_obs::gauges::SERVE_JOURNAL_BYTES, self.bytes as f64);
+    }
+}
+
+/// Checks a journal's first line against the expected job identity.
+fn verify_header(path: &Path, header: &JournalHeader, first: &str) -> Result<(), ServeError> {
+    let bad = |what: String| ServeError::Journal(format!("{}: {what}", path.display()));
+    let stored: JournalHeader =
+        serde_json::from_str(first).map_err(|e| bad(format!("unreadable journal header: {e}")))?;
+    if stored.version != JOURNAL_VERSION {
+        return Err(bad(format!(
+            "journal format version {} is not supported (this build reads version {JOURNAL_VERSION})",
+            stored.version
+        )));
+    }
+    if stored != *header {
+        return Err(bad(format!(
+            "journal belongs to a different job (design `{}`, checksums {}/{})",
+            stored.design, stored.design_checksum, stored.flow_checksum
+        )));
+    }
+    Ok(())
+}
+
+/// Validates a recovered record stream (`JN001` checksums, `JN002`
+/// sequence continuity) before a single batch is replayed.
+fn validate_records(path: &Path, parsed: &[RecordLine]) -> Result<(), ServeError> {
+    let mut metas: Vec<JournalRecordMeta> = Vec::with_capacity(parsed.len());
+    for r in parsed {
+        metas.push(JournalRecordMeta {
+            seq: r.seq,
+            stored_checksum: r.checksum.clone(),
+            computed_checksum: payload_checksum(&r.payload)?,
+        });
+    }
+    let report = lint_journal_records(&path.display().to_string(), &metas);
+    if report.has_errors() {
+        return Err(ServeError::Journal(format!(
+            "{}: journal failed validation:\n{report}",
+            path.display()
+        )));
+    }
+    Ok(())
 }
 
 fn header_line(header: &JournalHeader) -> Result<String, ServeError> {
     let mut line = serde_json::to_string(header)
         .map_err(|e| ServeError::Journal(format!("header serialization: {e}")))?;
+    line.push('\n');
+    Ok(line)
+}
+
+fn marker_line(marker: &CompactionMarker) -> Result<String, ServeError> {
+    let mut line = serde_json::to_string(marker)
+        .map_err(|e| ServeError::Journal(format!("marker serialization: {e}")))?;
     line.push('\n');
     Ok(line)
 }
@@ -412,6 +815,147 @@ mod tests {
 
         let err = FlowJournal::open(&path, &header).unwrap_err();
         assert!(err.to_string().contains("JN002"), "{err}");
+    }
+
+    fn store_for(path: &Path) -> PageStore {
+        let dir = path.parent().expect("journal lives in a directory");
+        PageStore::open(dir.join("store")).unwrap()
+    }
+
+    #[test]
+    fn compaction_bounds_the_file_and_replay_is_complete() {
+        let path = temp_journal("compact");
+        let (_, _, header) = fixture();
+        let mut store = store_for(&path);
+        let mut rec = FlowJournal::open_with_store(&path, &header, &mut store).unwrap();
+        let mut max_bytes = 0u64;
+        for i in 0..120 {
+            rec.journal.append(&record(i % 5)).unwrap();
+            if rec.journal.live_records() >= 16 {
+                let folded = rec
+                    .journal
+                    .compact_into(&mut store, &FaultPlan::none())
+                    .unwrap();
+                assert_eq!(folded, 16);
+            }
+            max_bytes = max_bytes.max(rec.journal.bytes());
+        }
+        // The file never outgrows ~one compaction window of records.
+        let cap = 16 * 1024;
+        assert!(max_bytes < cap, "journal grew to {max_bytes} bytes");
+        let caps = JournalCaps {
+            max_records: Some(16),
+            max_bytes: Some(cap),
+        };
+        assert!(rec.journal.growth_report(&caps).is_clean(), "under caps");
+        assert_eq!(rec.journal.next_seq(), 120);
+        assert!(rec.journal.compacted_through() >= 112);
+        drop(rec);
+
+        // Reopening with the store replays every record, in order.
+        let again = FlowJournal::open_with_store(&path, &header, &mut store).unwrap();
+        assert_eq!(again.records.len(), 120);
+        assert!(!again.dropped_torn_tail);
+        for (i, r) in again.records.iter().enumerate() {
+            assert_eq!(*r, record(i % 5), "record {i}");
+        }
+
+        // Opening WITHOUT the store is a loud, typed refusal — the
+        // compacted prefix is unreachable, never silently dropped.
+        let err = FlowJournal::open(&path, &header).unwrap_err();
+        assert!(matches!(err, ServeError::Journal(_)));
+        assert!(err.to_string().contains("open it with its store"), "{err}");
+    }
+
+    #[test]
+    fn kill_between_segment_commit_and_file_rewrite_recovers() {
+        let path = temp_journal("killwindow");
+        let (_, _, header) = fixture();
+        let mut store = store_for(&path);
+        let mut rec = FlowJournal::open_with_store(&path, &header, &mut store).unwrap();
+        for i in 0..4 {
+            rec.journal.append(&record(i)).unwrap();
+        }
+        rec.journal
+            .compact_into(&mut store, &FaultPlan::none())
+            .unwrap();
+        rec.journal.append(&record(4)).unwrap();
+        rec.journal.append(&record(5)).unwrap();
+        // Snapshot the file as it looks *before* the second compaction's
+        // rewrite, then compact (segment now holds all 6 records) and put
+        // the stale file back: exactly the kill-between-steps state.
+        let stale = fs::read(&path).unwrap();
+        rec.journal
+            .compact_into(&mut store, &FaultPlan::none())
+            .unwrap();
+        drop(rec);
+        fs::write(&path, &stale).unwrap();
+
+        let recovered = FlowJournal::open_with_store(&path, &header, &mut store).unwrap();
+        assert_eq!(recovered.records.len(), 6, "superset segment + live tail");
+        assert_eq!(recovered.journal.compacted_through(), 4);
+        let mut journal = recovered.journal;
+        // The interrupted compaction simply reruns.
+        assert_eq!(
+            journal
+                .compact_into(&mut store, &FaultPlan::none())
+                .unwrap(),
+            2
+        );
+        drop(journal);
+        let clean = FlowJournal::open_with_store(&path, &header, &mut store).unwrap();
+        assert_eq!(clean.records.len(), 6);
+        assert_eq!(clean.journal.compacted_through(), 6);
+    }
+
+    #[test]
+    fn torn_tail_after_compaction_is_healed() {
+        let path = temp_journal("compact-torn");
+        let (_, _, header) = fixture();
+        let mut store = store_for(&path);
+        let mut rec = FlowJournal::open_with_store(&path, &header, &mut store).unwrap();
+        for i in 0..3 {
+            rec.journal.append(&record(i)).unwrap();
+        }
+        rec.journal
+            .compact_into(&mut store, &FaultPlan::none())
+            .unwrap();
+        rec.journal.append(&record(3)).unwrap();
+        drop(rec);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"seq\":4,\"checksum\":\"dead");
+        fs::write(&path, &text).unwrap();
+
+        let healed = FlowJournal::open_with_store(&path, &header, &mut store).unwrap();
+        assert!(healed.dropped_torn_tail);
+        assert_eq!(healed.records.len(), 4);
+        assert_eq!(healed.journal.next_seq(), 4);
+        assert_eq!(healed.journal.live_records(), 1);
+        drop(healed);
+        let clean = FlowJournal::open_with_store(&path, &header, &mut store).unwrap();
+        assert!(!clean.dropped_torn_tail);
+        assert_eq!(clean.records.len(), 4);
+    }
+
+    #[test]
+    fn missing_journal_segment_is_a_typed_store_error() {
+        let path = temp_journal("lost-segment");
+        let (_, _, header) = fixture();
+        let mut store = store_for(&path);
+        let mut rec = FlowJournal::open_with_store(&path, &header, &mut store).unwrap();
+        for i in 0..3 {
+            rec.journal.append(&record(i)).unwrap();
+        }
+        rec.journal
+            .compact_into(&mut store, &FaultPlan::none())
+            .unwrap();
+        drop(rec);
+        // Lose the store (a different, empty store directory).
+        let other_dir = path.parent().unwrap().join("wrong-store");
+        let mut empty = PageStore::open(other_dir).unwrap();
+        let err = FlowJournal::open_with_store(&path, &header, &mut empty).unwrap_err();
+        assert!(matches!(err, ServeError::Store(_)), "{err}");
+        assert!(err.to_string().contains("missing from the store"), "{err}");
     }
 
     #[test]

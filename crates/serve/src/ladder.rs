@@ -23,7 +23,7 @@
 
 use std::fmt;
 
-use gcnt_core::{CascadeSession, GraphTensors, MultiStageGcn};
+use gcnt_core::{CascadeSession, EmbeddingCache, GraphTensors, MultiStageGcn};
 use gcnt_tensor::{Budget, Matrix, TensorError};
 
 use crate::error::ServeError;
@@ -115,6 +115,25 @@ pub fn classify_with_ladder(
     budget: &Budget,
     poison_incremental: bool,
 ) -> Result<LadderResult, ServeError> {
+    classify_with_ladder_sessioned(model, t, x, budget, poison_incremental)
+        .map(|(result, _)| result)
+}
+
+/// [`classify_with_ladder`], additionally handing back the incremental
+/// rung's per-stage embedding caches when that rung answered — the
+/// warm-restart save path persists them to a page store. Lower rungs
+/// never build caches, so they return `None`.
+///
+/// # Errors
+///
+/// As [`classify_with_ladder`].
+pub fn classify_with_ladder_sessioned(
+    model: &MultiStageGcn,
+    t: &GraphTensors,
+    x: &Matrix,
+    budget: &Budget,
+    poison_incremental: bool,
+) -> Result<(LadderResult, Option<Vec<EmbeddingCache>>), ServeError> {
     let mut dropped = Vec::new();
 
     // Rung 0: incremental session.
@@ -126,11 +145,15 @@ pub fn classify_with_ladder(
     } else {
         match CascadeSession::for_cascade_budgeted(model, t, x, budget) {
             Ok(session) => {
-                return Ok(LadderResult {
-                    probs: session.probs().to_vec(),
-                    rung: Rung::Incremental,
-                    dropped,
-                })
+                let probs = session.probs().to_vec();
+                return Ok((
+                    LadderResult {
+                        probs,
+                        rung: Rung::Incremental,
+                        dropped,
+                    },
+                    Some(session.into_caches()),
+                ));
             }
             Err(e) if degrades(&e) => dropped.push(RungDrop {
                 rung: Rung::Incremental,
@@ -143,11 +166,14 @@ pub fn classify_with_ladder(
     // Rung 1: full sparse inference.
     match model.predict_proba_budgeted(t, x, budget) {
         Ok(probs) => {
-            return Ok(LadderResult {
-                probs,
-                rung: Rung::FullSparse,
-                dropped,
-            })
+            return Ok((
+                LadderResult {
+                    probs,
+                    rung: Rung::FullSparse,
+                    dropped,
+                },
+                None,
+            ))
         }
         Err(e) if degrades(&e) => dropped.push(RungDrop {
             rung: Rung::FullSparse,
@@ -162,11 +188,14 @@ pub fn classify_with_ladder(
         .first()
         .ok_or_else(|| ServeError::Load("model has no stages".to_string()))?;
     let probs = first.predict_proba(t, x)?;
-    Ok(LadderResult {
-        probs,
-        rung: Rung::FirstStage,
-        dropped,
-    })
+    Ok((
+        LadderResult {
+            probs,
+            rung: Rung::FirstStage,
+            dropped,
+        },
+        None,
+    ))
 }
 
 #[cfg(test)]

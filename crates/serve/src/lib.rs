@@ -28,10 +28,17 @@
 //!   fsynced record per committed insertion batch; a killed process
 //!   resumes to a bit-identical [`gcnt_dft::flow::FlowOutcome`], with
 //!   torn tails healed and real corruption refused (`JN001`/`JN002`).
+//! * **Store-backed durability** ([`store`], opt-in via
+//!   [`ServeCore::with_store`]): journals compact into a checksummed
+//!   [`gcnt_store::PageStore`] (bounding on-disk growth, `JN003`), and
+//!   incremental answers persist their per-layer embeddings so a warm
+//!   restart reloads pages instead of recomputing — bit-identical either
+//!   way, with corrupt pages quarantined and recomputed.
 //!
 //! Fault injection ([`gcnt_runtime::FaultPlan`], `fault-inject` feature)
-//! drives all four deterministically: injected latency, queue saturation,
-//! stale-cache poisoning, and kill-after-journal-record.
+//! drives all of it deterministically: injected latency, queue
+//! saturation, stale-cache poisoning, kill-after-journal-record,
+//! store disk-full, and kill-mid-compaction.
 //!
 //! # Example
 //!
@@ -61,12 +68,16 @@ pub mod journal;
 pub mod ladder;
 pub mod queue;
 pub mod server;
+pub mod store;
 
 pub use breaker::{BreakerConfig, CircuitBreaker, RetryPolicy};
 pub use error::ServeError;
-pub use journal::{FlowJournal, JournalHeader, Recovered, JOURNAL_VERSION};
-pub use ladder::{classify_with_ladder, LadderResult, Rung, RungDrop};
+pub use journal::{FlowJournal, JournalHeader, Recovered, JOURNAL_SEGMENT_KIND, JOURNAL_VERSION};
+pub use ladder::{
+    classify_with_ladder, classify_with_ladder_sessioned, LadderResult, Rung, RungDrop,
+};
 pub use queue::BoundedQueue;
 pub use server::{
     FlowJobResult, FlowResponse, InferResponse, ServeConfig, ServeCore, ServeHandle, Ticket,
 };
+pub use store::{design_fingerprint, JobStore, StorePolicy};

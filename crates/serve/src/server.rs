@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::thread;
 
-use gcnt_core::{features::FeatureNormalizer, GraphData, MultiStageGcn};
+use gcnt_core::{features::FeatureNormalizer, CascadeSession, GraphData, MultiStageGcn};
 use gcnt_dft::flow::{run_gcn_opi_resumable, FlowConfig, FlowError, FlowOutcome};
 use gcnt_netlist::Netlist;
 use gcnt_runtime::FaultPlan;
@@ -21,8 +21,9 @@ use gcnt_tensor::Budget;
 use crate::breaker::{BreakerConfig, CircuitBreaker, RetryPolicy};
 use crate::error::ServeError;
 use crate::journal::{FlowJournal, JournalHeader};
-use crate::ladder::{classify_with_ladder, LadderResult, Rung, RungDrop};
+use crate::ladder::{classify_with_ladder_sessioned, LadderResult, Rung, RungDrop};
 use crate::queue::BoundedQueue;
+use crate::store::{design_fingerprint, JobStore};
 
 /// Service configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +71,9 @@ pub struct InferResponse {
     pub spent: u64,
     /// This request's admission index (0-based, per core).
     pub admission_index: u64,
+    /// Embedding rows restored from the page store instead of being
+    /// recomputed; 0 on a cold (or storeless) answer.
+    pub warm_rows: u64,
 }
 
 /// Answer to a journaled flow job.
@@ -95,6 +99,7 @@ pub struct ServeCore {
     plan: FaultPlan,
     breaker: CircuitBreaker,
     admitted: u64,
+    store: Option<JobStore>,
 }
 
 impl ServeCore {
@@ -107,6 +112,7 @@ impl ServeCore {
             config,
             plan: FaultPlan::none(),
             admitted: 0,
+            store: None,
         }
     }
 
@@ -128,7 +134,38 @@ impl ServeCore {
     /// without the `fault-inject` feature).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.plan = plan;
+        self.sync_store_faults();
         self
+    }
+
+    /// Attaches a page store: flow journals compact into it (bounding
+    /// on-disk journal growth) and incremental answers persist their
+    /// embedding pages so a restarted core reloads instead of recomputes.
+    pub fn with_store(mut self, store: JobStore) -> Self {
+        self.store = Some(store);
+        self.sync_store_faults();
+        self
+    }
+
+    /// Pushes the fault plan's store faults (disk-full) into the
+    /// attached page store. Called from both builders so either order of
+    /// `with_faults`/`with_store` injects them.
+    fn sync_store_faults(&mut self) {
+        #[cfg(feature = "fault-inject")]
+        if let (Some(n), Some(js)) = (self.plan.store_disk_full_after(), self.store.as_mut()) {
+            js.store_mut()
+                .set_faults(gcnt_store::StoreFaults::none().with_disk_full_after(n));
+        }
+    }
+
+    /// The attached page store, if any.
+    pub fn store(&self) -> Option<&JobStore> {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the attached page store, if any.
+    pub fn store_mut(&mut self) -> Option<&mut JobStore> {
+        self.store.as_mut()
     }
 
     /// The serving configuration.
@@ -187,10 +224,19 @@ impl ServeCore {
     /// Every admitted request completes on *some* rung — deadline pressure
     /// degrades quality, never availability.
     ///
+    /// With a store attached, an incremental answer first tries to reload
+    /// this design's persisted embedding pages (warm restart: classifier
+    /// heads only, bit-identical probabilities) and, when it must compute
+    /// cold, persists the fresh embeddings for the next restart. A corrupt
+    /// page is quarantined and recomputed — degraded speed, never wrong
+    /// data.
+    ///
     /// # Errors
     ///
     /// [`ServeError::Load`] if the design cannot be featurised,
-    /// [`ServeError::Tensor`] on a real model/graph error.
+    /// [`ServeError::Tensor`] on a real model/graph error,
+    /// [`ServeError::Store`] if the page store fails environmentally
+    /// (I/O, disk-full) — never for corruption, which self-heals.
     pub fn handle_infer(
         &mut self,
         net: &Netlist,
@@ -204,12 +250,69 @@ impl ServeCore {
             .map_err(|e| ServeError::Load(format!("design `{}`: {e}", net.name())))?;
         let budget = self.budget_for(deadline);
         let poisoned = self.plan.take_cache_poison(admission_index);
+
+        // Warm restart: reuse embedding pages persisted for this exact
+        // (design, model) pair at this graph generation, if the store has
+        // them. An injected cache poison skips the warm path too — it
+        // must degrade exactly like a stale in-memory cache.
+        let fingerprint = match &self.store {
+            Some(_) => Some(design_fingerprint(net, &self.model)?),
+            None => None,
+        };
+        if !poisoned {
+            if let Some(fp) = &fingerprint {
+                let ServeCore { model, store, .. } = self;
+                if let Some(js) = store.as_mut() {
+                    let loaded = js.load_caches(
+                        fp,
+                        data.tensors.generation(),
+                        data.tensors.node_count() as u64,
+                        model,
+                    )?;
+                    if let Some(caches) = loaded {
+                        let rows: u64 = caches
+                            .iter()
+                            .flat_map(|c| c.layers())
+                            .map(|l| l.rows() as u64)
+                            .sum();
+                        if let Ok(session) = CascadeSession::from_caches(
+                            model,
+                            &data.tensors,
+                            &data.features,
+                            caches,
+                        ) {
+                            obs.add(gcnt_obs::counters::SERVE_STORE_ROWS_LOADED, rows);
+                            obs.incr(gcnt_obs::counters::SERVE_RUNG_INCREMENTAL);
+                            let probs = session.probs().to_vec();
+                            let threshold = self.config.prob_threshold;
+                            let positives = probs.iter().filter(|&&p| p >= threshold).count();
+                            return Ok(InferResponse {
+                                probs,
+                                positives,
+                                rung: Rung::Incremental,
+                                dropped: Vec::new(),
+                                spent: budget.spent(),
+                                admission_index,
+                                warm_rows: rows,
+                            });
+                        }
+                        // Validation refused the restored caches (model or
+                        // graph drifted): fall through to the cold path,
+                        // which re-persists fresh pages.
+                    }
+                }
+            }
+        }
+
         let ladder_span = obs.is_enabled().then(std::time::Instant::now);
-        let LadderResult {
-            probs,
-            rung,
-            dropped,
-        } = classify_with_ladder(
+        let (
+            LadderResult {
+                probs,
+                rung,
+                dropped,
+            },
+            caches,
+        ) = classify_with_ladder_sessioned(
             &self.model,
             &data.tensors,
             &data.features,
@@ -240,6 +343,14 @@ impl ServeCore {
                 budget.spent(),
             );
         }
+        // A cold incremental answer just computed every embedding row —
+        // persist them so the next restart of this core answers warm.
+        if let (Some(fp), Some(caches)) = (&fingerprint, caches) {
+            if let Some(js) = self.store.as_mut() {
+                let saved = js.save_caches(fp, &caches)?;
+                obs.add(gcnt_obs::counters::SERVE_STORE_ROWS_SAVED, saved);
+            }
+        }
         let threshold = self.config.prob_threshold;
         let positives = probs.iter().filter(|&&p| p >= threshold).count();
         Ok(InferResponse {
@@ -249,6 +360,7 @@ impl ServeCore {
             dropped,
             spent: budget.spent(),
             admission_index,
+            warm_rows: 0,
         })
     }
 
@@ -264,8 +376,10 @@ impl ServeCore {
     /// # Errors
     ///
     /// [`ServeError::Journal`] if the journal cannot be recovered or
-    /// appended, [`ServeError::Flow`] if the flow itself fails — committed
-    /// batches stay journaled either way, so a rerun resumes.
+    /// appended, [`ServeError::Store`] if a store-backed journal's
+    /// compacted prefix cannot be read back or a compaction commit fails,
+    /// [`ServeError::Flow`] if the flow itself fails — committed batches
+    /// stay journaled either way, so a rerun resumes.
     pub fn run_flow_job(
         &mut self,
         net: &mut Netlist,
@@ -274,15 +388,26 @@ impl ServeCore {
         deadline: Option<u64>,
     ) -> Result<FlowResponse, ServeError> {
         let header = JournalHeader::describe(net, cfg)?;
-        let recovered = FlowJournal::open(journal_path, &header)?;
+        let budget = self.budget_for(deadline);
+        let ServeCore {
+            model,
+            normalizer,
+            plan,
+            store,
+            ..
+        } = self;
+        let plan: &FaultPlan = plan;
+        let mut store = store.as_mut();
+        let recovered = match store.as_mut() {
+            Some(js) => FlowJournal::open_with_store(journal_path, &header, js.store_mut())?,
+            None => FlowJournal::open(journal_path, &header)?,
+        };
         let mut journal = recovered.journal;
         let resumed_batches = recovered.records.len();
         gcnt_obs::global().add(
             gcnt_obs::counters::SERVE_JOURNAL_REPLAYED,
             resumed_batches as u64,
         );
-        let budget = self.budget_for(deadline);
-        let plan = &self.plan;
         let mut observer = |rec: &gcnt_dft::flow::BatchRecord| -> Result<(), FlowError> {
             let seq = journal
                 .append(rec)
@@ -292,12 +417,22 @@ impl ServeCore {
                 // next batch never starts.
                 std::process::abort();
             }
+            // With a store attached, fold the live tail into pages once
+            // it reaches the policy's window — this is what keeps the
+            // on-disk journal bounded over long jobs.
+            if let Some(js) = store.as_mut() {
+                if journal.live_records() >= js.policy().compact_after_records {
+                    journal
+                        .compact_into(js.store_mut(), plan)
+                        .map_err(|e| FlowError::Journal(e.to_string()))?;
+                }
+            }
             Ok(())
         };
         let outcome = run_gcn_opi_resumable(
             net,
-            &self.normalizer,
-            &self.model,
+            &*normalizer,
+            &*model,
             cfg,
             &budget,
             &recovered.records,
@@ -720,6 +855,112 @@ mod tests {
                 "cut at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn warm_restart_reloads_embeddings_from_pages() {
+        use crate::store::StorePolicy;
+        let (normalizer, model_, net) = model();
+        let dir = temp_dir("warmstore");
+        let store = JobStore::open(&dir.join("store"), StorePolicy::default()).unwrap();
+        let mut cold_core =
+            ServeCore::new(normalizer.clone(), model_.clone(), ServeConfig::default())
+                .with_store(store);
+        let cold = cold_core.handle_infer(&net, None).unwrap();
+        assert_eq!(cold.rung, Rung::Incremental);
+        assert_eq!(cold.warm_rows, 0, "first answer computes cold");
+        drop(cold_core);
+
+        // A "restarted process": fresh core, same store directory. The
+        // base embeddings come back from pages — no full recompute — and
+        // the answer is bit-identical.
+        let store = JobStore::open(&dir.join("store"), StorePolicy::default()).unwrap();
+        let mut warm_core =
+            ServeCore::new(normalizer, model_, ServeConfig::default()).with_store(store);
+        let warm = warm_core.handle_infer(&net, None).unwrap();
+        assert!(warm.warm_rows > 0, "rows were reloaded from the store");
+        assert_eq!(warm.rung, Rung::Incremental);
+        assert_eq!(warm.probs, cold.probs, "warm restart is bit-identical");
+    }
+
+    #[test]
+    fn corrupt_embedding_page_recomputes_cold_then_heals() {
+        use crate::store::StorePolicy;
+        let (normalizer, model_, net) = model();
+        let dir = temp_dir("quarantine");
+        let store = JobStore::open(&dir.join("store"), StorePolicy::default()).unwrap();
+        let mut core = ServeCore::new(normalizer.clone(), model_.clone(), ServeConfig::default())
+            .with_store(store);
+        let cold = core.handle_infer(&net, None).unwrap();
+        drop(core);
+
+        // Flip a byte in the page data: the warm path must quarantine and
+        // recompute, never answer from the damaged rows.
+        let data_file = dir.join("store").join("pages-0000.dat");
+        let mut bytes = std::fs::read(&data_file).unwrap();
+        bytes[64] ^= 0x01;
+        std::fs::write(&data_file, &bytes).unwrap();
+
+        let store = JobStore::open(&dir.join("store"), StorePolicy::default()).unwrap();
+        let mut core = ServeCore::new(normalizer, model_, ServeConfig::default()).with_store(store);
+        let healed = core.handle_infer(&net, None).unwrap();
+        assert_eq!(healed.warm_rows, 0, "corruption forces a cold recompute");
+        assert_eq!(healed.probs, cold.probs, "and the answer is still right");
+        // The cold path re-persisted fresh pages: the next request warms.
+        let warm = core.handle_infer(&net, None).unwrap();
+        assert!(warm.warm_rows > 0, "store healed after recompute");
+        assert_eq!(warm.probs, cold.probs);
+    }
+
+    #[test]
+    fn store_backed_flow_job_compacts_and_stays_bit_identical() {
+        use crate::store::StorePolicy;
+        let cfg = FlowConfig {
+            max_iterations: 3,
+            ops_per_iteration: 2,
+            candidate_limit: 4,
+            ..FlowConfig::default()
+        };
+        let dir = temp_dir("flowstore");
+
+        // Storeless reference run.
+        let (mut ref_core, net) = core();
+        let mut ref_net = net.clone();
+        let reference = ref_core
+            .run_flow_job(&mut ref_net, &cfg, &dir.join("ref.wal"), None)
+            .unwrap();
+        assert!(reference.journal_records > 0);
+
+        // Store-backed run compacting after every record: the journal
+        // file stays at header + marker size for the whole job.
+        let policy = StorePolicy {
+            compact_after_records: 1,
+            max_journal_bytes: 4096,
+        };
+        let (normalizer, model_, _) = model();
+        let store = JobStore::open(&dir.join("store"), policy).unwrap();
+        let mut core = ServeCore::new(normalizer, model_, ServeConfig::default()).with_store(store);
+        let mut job_net = net.clone();
+        let done = core
+            .run_flow_job(&mut job_net, &cfg, &dir.join("job.wal"), None)
+            .unwrap();
+        assert_eq!(done.outcome, reference.outcome, "store changes nothing");
+        assert_eq!(job_net, ref_net);
+        assert_eq!(done.journal_records, reference.journal_records);
+        let wal_bytes = std::fs::metadata(dir.join("job.wal")).unwrap().len();
+        assert!(
+            wal_bytes <= policy.max_journal_bytes,
+            "compaction bounds the journal ({wal_bytes} bytes)"
+        );
+
+        // A rerun resumes every batch out of the compacted pages.
+        let mut resumed_net = net.clone();
+        let resumed = core
+            .run_flow_job(&mut resumed_net, &cfg, &dir.join("job.wal"), None)
+            .unwrap();
+        assert_eq!(resumed.resumed_batches as u64, done.journal_records);
+        assert_eq!(resumed.outcome, reference.outcome);
+        assert_eq!(resumed_net, ref_net);
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Typed failures of the page store.
+//!
+//! The failure contract of the whole crate lives in this enum: every
+//! open/read/write path either *recovers* (torn-tail heal on the data
+//! file, temp+fsync+rename for metadata) or returns one of these —
+//! never silently wrong data.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors produced by the page store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// Path the operation targeted.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The store metadata file is not parseable, or its envelope
+    /// checksum disagrees with its payload (a flipped bit anywhere in
+    /// the committed metadata lands here, never in wrong page refs).
+    Malformed {
+        /// Path of the unparseable file.
+        path: PathBuf,
+        /// What failed to parse or verify.
+        detail: String,
+    },
+    /// The metadata declares a format version this build does not read.
+    Unsupported {
+        /// Path of the metadata file.
+        path: PathBuf,
+        /// The declared version.
+        version: u32,
+    },
+    /// A committed page failed its integrity check (bad magic, length
+    /// out of range, or checksum mismatch). The caller should
+    /// quarantine the owning segment and recompute its contents.
+    PageCorrupt {
+        /// Path of the data file.
+        path: PathBuf,
+        /// Index of the corrupt page.
+        page: u64,
+        /// What the check found.
+        detail: String,
+    },
+    /// A segment's reassembled bytes disagree with its committed length
+    /// or checksum, or it references a page past the committed count.
+    SegmentCorrupt {
+        /// Path of the data file.
+        path: PathBuf,
+        /// Display name of the segment.
+        segment: String,
+        /// What the check found.
+        detail: String,
+    },
+    /// The data file is shorter than the committed page count promises —
+    /// pages the metadata vouches for are gone, which is real
+    /// corruption, not a torn tail.
+    Truncated {
+        /// Path of the data file.
+        path: PathBuf,
+        /// Bytes the committed page count requires.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// A page write was refused because the device is full (or a
+    /// fault plan simulated that condition). Nothing was committed.
+    DiskFull {
+        /// Path of the data file.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "store io error at {}: {source}", path.display())
+            }
+            StoreError::Malformed { path, detail } => {
+                write!(f, "malformed store metadata {}: {detail}", path.display())
+            }
+            StoreError::Unsupported { path, version } => write!(
+                f,
+                "store {} declares unsupported format version {version}",
+                path.display()
+            ),
+            StoreError::PageCorrupt { path, page, detail } => {
+                write!(f, "corrupt page {page} in {}: {detail}", path.display())
+            }
+            StoreError::SegmentCorrupt {
+                path,
+                segment,
+                detail,
+            } => write!(
+                f,
+                "corrupt segment `{segment}` in {}: {detail}",
+                path.display()
+            ),
+            StoreError::Truncated {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "data file {} truncated: {actual} bytes on disk, {expected} committed",
+                path.display()
+            ),
+            StoreError::DiskFull { path } => {
+                write!(f, "disk full writing pages to {}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn display_is_informative() {
+        let p = Path::new("/tmp/s");
+        assert!(StoreError::Truncated {
+            path: p.to_path_buf(),
+            expected: 8192,
+            actual: 4096
+        }
+        .to_string()
+        .contains("8192 committed"));
+        assert!(StoreError::PageCorrupt {
+            path: p.to_path_buf(),
+            page: 3,
+            detail: "checksum mismatch".to_string()
+        }
+        .to_string()
+        .contains("page 3"));
+        assert!(StoreError::DiskFull {
+            path: p.to_path_buf()
+        }
+        .to_string()
+        .contains("disk full"));
+    }
+}

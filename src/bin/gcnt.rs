@@ -76,6 +76,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "lint" => cmd_lint(&positional, &options),
         "analyze" => cmd_analyze(&options),
         "serve" => cmd_serve(&options),
+        "store" => cmd_store(&positional, &options),
         "checkpoints" => cmd_checkpoints(&positional),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -105,7 +106,9 @@ fn print_usage() {
          \x20 gcnt lint design.bench [--model model.json] [--format text|json]\n\
          \x20 gcnt analyze [--root DIR] [--format text|json] [--ratchet-update]\n\
          \x20 gcnt serve --self-test [--journal-dir DIR] [--requests N] [--deadline ROWS]\n\
+         \x20\x20\x20\x20 [--store-dir DIR] [--compact-after N]\n\
          \x20\x20\x20\x20 [--faults plan.json] [--metrics-out m.json] [--metrics-every N]\n\
+         \x20 gcnt store stat|scrub|compact DIR [--format text|json]\n\
          \x20 gcnt checkpoints DIR\n\
          \n\
          --metrics-out writes a metrics snapshot (JSON, or Prometheus text\n\
@@ -566,6 +569,17 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
 
     let saturated = plan.queue_saturated();
     let mut core = ServeCore::new(normalizer, model, ServeConfig::default()).with_faults(plan);
+    // `--store-dir` opts into store-backed durability: the flow journal
+    // compacts into the page store (bounding its on-disk growth) and
+    // incremental answers persist their embeddings for warm restarts.
+    if let Some(store_dir) = options.get("store-dir") {
+        use gcn_testability::serve::{JobStore, StorePolicy};
+        let policy = StorePolicy {
+            compact_after_records: opt_usize(options, "compact-after", 16) as u64,
+            ..StorePolicy::default()
+        };
+        core = core.with_store(JobStore::open(store_dir.as_ref(), policy)?);
+    }
 
     if saturated {
         // Admission-control drill: every submission must bounce with a
@@ -628,6 +642,7 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             .field("dropped", resp.dropped.len())
             .field("positives", resp.positives)
             .field("spent", resp.spent)
+            .field("warm_rows", resp.warm_rows)
             .emit();
         if metrics_every > 0 && (i + 1) % metrics_every == 0 {
             if let Some(metrics) = &metrics_path {
@@ -654,6 +669,8 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         .field("rung_incremental", obs.counter(c::SERVE_RUNG_INCREMENTAL))
         .field("rung_full_sparse", obs.counter(c::SERVE_RUNG_FULL_SPARSE))
         .field("rung_first_stage", obs.counter(c::SERVE_RUNG_FIRST_STAGE))
+        .field("store_rows_saved", obs.counter(c::SERVE_STORE_ROWS_SAVED))
+        .field("store_rows_loaded", obs.counter(c::SERVE_STORE_ROWS_LOADED))
         .emit();
     report::selftest("DONE")
         .field("admitted", core.admitted())
@@ -664,6 +681,74 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         report::write_metrics_snapshot(&metrics)?;
     }
     Ok(())
+}
+
+/// `gcnt store`: operator tooling over a [`gcn_testability::store`]
+/// directory. `stat` summarises pages/segments, `scrub` re-reads and
+/// re-checksums every committed page (nonzero exit on any `PG###` error
+/// finding, same contract as `gcnt lint`), and `compact` rewrites live
+/// segments into a fresh data file, dropping dead pages.
+fn cmd_store(
+    positional: &[String],
+    options: &HashMap<String, String>,
+) -> Result<(), Box<dyn Error>> {
+    use gcn_testability::store::PageStore;
+
+    let action = positional
+        .first()
+        .ok_or("expected an action: stat, scrub, or compact")?;
+    let dir = positional.get(1).ok_or("expected a store directory")?;
+    let mut store = PageStore::open(dir)?;
+    match action.as_str() {
+        "stat" => {
+            let s = store.stat()?;
+            println!("store     : {dir}");
+            println!(
+                "pages     : {} committed, {} live",
+                s.page_count, s.live_pages
+            );
+            println!("segments  : {}", s.segments);
+            println!("live bytes: {}", s.live_bytes);
+            println!(
+                "data bytes: {} (generation {})",
+                s.data_bytes, s.data_generation
+            );
+            for key in store.keys() {
+                println!("  {}", key.display());
+            }
+            Ok(())
+        }
+        "scrub" => {
+            let report = store.scrub()?;
+            match options.get("format").map(String::as_str) {
+                None | Some("text") => print!("{report}"),
+                Some("json") => println!("{}", report.to_json()),
+                Some(other) => {
+                    return Err(format!("unknown format '{other}' (use text or json)").into())
+                }
+            }
+            if report.has_errors() {
+                return Err(format!(
+                    "scrub found {} error(s)",
+                    report.count(gcn_testability::lint::Severity::Error)
+                )
+                .into());
+            }
+            println!("scrub clean: every committed page verifies");
+            Ok(())
+        }
+        "compact" => {
+            let stats = store.compact()?;
+            println!(
+                "compacted {dir}: {} -> {} pages",
+                stats.pages_before, stats.pages_after
+            );
+            Ok(())
+        }
+        other => {
+            Err(format!("unknown store action '{other}' (use stat, scrub, or compact)").into())
+        }
+    }
 }
 
 fn cmd_atpg(

@@ -23,7 +23,8 @@
 //! | [`lint`] | cross-crate static analysis of *runtime data*: netlist, tensor and model invariants with stable rule ids |
 //! | [`analyze`] | static analysis of the *source tree and artifacts*: panic/unsafe/atomics/cast policies with a ratchet, cross-artifact consistency |
 //! | [`runtime`] | resilience: checksummed checkpoint/resume, divergence guards, fault injection |
-//! | [`serve`] | long-lived service: bounded admission, deadlines, degradation ladder, write-ahead journaled flow jobs |
+//! | [`store`] | crash-safe paged design/embedding store: checksummed fixed-size pages, bounded cache, scrub/compact, quarantine |
+//! | [`serve`] | long-lived service: bounded admission, deadlines, degradation ladder, write-ahead journaled flow jobs with store-backed compaction and warm restart |
 //! | [`obs`] | observability: global metrics registry, counters/gauges/histograms, JSON + Prometheus snapshots |
 //! | [`report`] | machine-readable CLI line convention (`SELFTEST_*`, `METRICS_*`) |
 //!
@@ -60,4 +61,5 @@ pub use gcnt_nn as nn;
 pub use gcnt_obs as obs;
 pub use gcnt_runtime as runtime;
 pub use gcnt_serve as serve;
+pub use gcnt_store as store;
 pub use gcnt_tensor as tensor;
