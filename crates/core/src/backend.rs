@@ -1,0 +1,326 @@
+//! Matrix-backend selection: serial CSR vs. partitioned CSR.
+//!
+//! The embed loop's hot operation is the aggregate
+//! `G = E + w_pr·(P·E) + w_su·(S·E)`. [`MatrixBackend`] abstracts *how*
+//! the two sparse products run:
+//!
+//! * [`MatrixBackend::Serial`] — the original [`GraphTensors::aggregate`]
+//!   path over [`gcnt_tensor::CsrMatrix::spmm`];
+//! * [`MatrixBackend::Partitioned`] — a [`PartitionedGraph`] holding both
+//!   adjacencies sharded under one fanout-balanced
+//!   [`gcnt_tensor::PartitionPlan`], running one worker per partition
+//!   with a halo exchange per layer ([`gcnt_tensor::PartitionedCsr`]).
+//!
+//! Both produce **bit-identical** aggregates: the partitioned SpMM
+//! preserves the serial kernel's per-row accumulation order, and the
+//! `clone + axpy` combination is shared verbatim. This is what lets the
+//! dirty-halo incremental engine ([`crate::incremental`]) compose with
+//! partition halos — a session opened over a partitioned backend patches
+//! the same bits a serial session would, so `refresh`/`revert` and the
+//! generation discipline carry over unchanged.
+//!
+//! The partitioned representation lives *outside* [`GraphTensors`]
+//! (which is serialized and cloned freely); staleness against the graph
+//! is policed with the same generation counter the embedding caches use.
+
+use gcnt_tensor::{Matrix, PartitionPlan, PartitionScratch, PartitionedCsr, Result, TensorError};
+
+use crate::GraphTensors;
+
+/// Designs below this node count stay serial under
+/// [`MatrixBackend::auto`]: partition setup and per-layer halo gathers
+/// only pay off once the adjacency stops fitting in cache.
+pub const PARTITION_AUTO_THRESHOLD: usize = 50_000;
+
+/// Most partitions [`MatrixBackend::auto`] will create; beyond ~8 blocks
+/// the halo volume grows faster than the per-worker win on CPU cores.
+pub const PARTITION_MAX_AUTO: usize = 8;
+
+/// Both adjacency matrices of one design, sharded under a single shared
+/// partition plan, plus reusable halo scratch.
+#[derive(Debug)]
+pub struct PartitionedGraph {
+    pred: PartitionedCsr,
+    succ: PartitionedCsr,
+    pred_scratch: PartitionScratch,
+    succ_scratch: PartitionScratch,
+    generation: u64,
+    n: usize,
+}
+
+impl PartitionedGraph {
+    /// Partitions both adjacencies of `t` into `parts` blocks balanced by
+    /// combined fanin+fanout row weight (one plan for both matrices, so a
+    /// partition owns the same node range in either direction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`gcnt_tensor::PartitionedCsr::from_csr_with_plan`]
+    /// errors (non-square adjacency, u32 overflow).
+    pub fn new(t: &GraphTensors, parts: usize) -> Result<Self> {
+        let pred = t.pred();
+        let succ = t.succ();
+        let weights: Vec<usize> = pred
+            .indptr()
+            .iter()
+            .zip(pred.indptr().iter().skip(1))
+            .zip(succ.indptr().iter().zip(succ.indptr().iter().skip(1)))
+            .map(|((&pa, &pb), (&sa, &sb))| (pb - pa) + (sb - sa))
+            .collect();
+        let plan = PartitionPlan::balanced(&weights, parts);
+        Ok(PartitionedGraph {
+            pred: PartitionedCsr::from_csr_with_plan(pred, &plan)?,
+            succ: PartitionedCsr::from_csr_with_plan(succ, &plan)?,
+            pred_scratch: PartitionScratch::new(),
+            succ_scratch: PartitionScratch::new(),
+            generation: t.generation(),
+            n: t.node_count(),
+        })
+    }
+
+    /// The partitioned predecessor adjacency.
+    pub fn pred(&self) -> &PartitionedCsr {
+        &self.pred
+    }
+
+    /// The partitioned successor adjacency.
+    pub fn succ(&self) -> &PartitionedCsr {
+        &self.succ
+    }
+
+    /// Graph generation this partitioning was built at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Node count this partitioning was built for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of row blocks.
+    pub fn partitions(&self) -> usize {
+        self.pred.partitions()
+    }
+
+    /// Refuses to serve against a graph state this partitioning was not
+    /// built for — the same staleness discipline as [`crate::EmbeddingCache`].
+    fn check_fresh(&self, t: &GraphTensors) -> Result<()> {
+        if self.generation != t.generation() || self.n != t.node_count() {
+            return Err(TensorError::StaleCache {
+                cache: self.generation,
+                graph: t.generation(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The aggregate `E + w_pr·(P·E) + w_su·(S·E)` over the partitioned
+    /// kernels, bit-identical to [`GraphTensors::aggregate`]'s `g` output
+    /// (identical clone + axpy combination, SpMM identical by the
+    /// partition kernel's guarantee).
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::StaleCache`] if the graph moved on since
+    /// [`PartitionedGraph::new`], or shape errors from the kernels.
+    pub fn aggregate(
+        &mut self,
+        t: &GraphTensors,
+        e: &Matrix,
+        w_pr: f32,
+        w_su: f32,
+    ) -> Result<Matrix> {
+        self.check_fresh(t)?;
+        let pe = self.pred.spmm_with(e, &mut self.pred_scratch)?;
+        let se = self.succ.spmm_with(e, &mut self.succ_scratch)?;
+        let mut g = e.clone();
+        g.axpy(w_pr, &pe)?;
+        g.axpy(w_su, &se)?;
+        Ok(g)
+    }
+}
+
+/// How the embed loop runs its sparse aggregates; see the module docs.
+#[derive(Debug, Default)]
+pub enum MatrixBackend {
+    /// The original serial-CSR path.
+    #[default]
+    Serial,
+    /// Partition-parallel path over a [`PartitionedGraph`] (boxed: the
+    /// sharded arenas dwarf the empty serial variant).
+    Partitioned(Box<PartitionedGraph>),
+}
+
+impl MatrixBackend {
+    /// The serial-CSR backend.
+    pub fn serial() -> Self {
+        MatrixBackend::Serial
+    }
+
+    /// A partitioned backend with an explicit partition count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartitionedGraph::new`] errors.
+    pub fn partitioned(t: &GraphTensors, parts: usize) -> Result<Self> {
+        Ok(MatrixBackend::Partitioned(Box::new(PartitionedGraph::new(
+            t, parts,
+        )?)))
+    }
+
+    /// Picks a backend from the design size and the machine: partitioned
+    /// with one block per core (clamped to 2..=[`PARTITION_MAX_AUTO`])
+    /// for designs of at least [`PARTITION_AUTO_THRESHOLD`] nodes on a
+    /// multi-core host, serial otherwise.
+    pub fn auto(t: &GraphTensors) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        if t.node_count() >= PARTITION_AUTO_THRESHOLD && cores >= 2 {
+            let parts = cores.clamp(2, PARTITION_MAX_AUTO);
+            // A square adjacency always partitions; fall back to serial
+            // if it somehow cannot (e.g. u32 overflow on absurd graphs).
+            match Self::partitioned(t, parts) {
+                Ok(backend) => backend,
+                Err(_) => MatrixBackend::Serial,
+            }
+        } else {
+            MatrixBackend::Serial
+        }
+    }
+
+    /// Whether this is the partitioned backend.
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self, MatrixBackend::Partitioned(_))
+    }
+
+    /// Partition count (1 for the serial backend — one logical block).
+    pub fn partition_count(&self) -> usize {
+        match self {
+            MatrixBackend::Serial => 1,
+            MatrixBackend::Partitioned(pg) => pg.partitions(),
+        }
+    }
+
+    /// Stable label for reports and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MatrixBackend::Serial => "serial",
+            MatrixBackend::Partitioned(_) => "partitioned",
+        }
+    }
+
+    /// The partitioned graph, if any (for consistency linting).
+    pub fn partitioned_graph(&self) -> Option<&PartitionedGraph> {
+        match self {
+            MatrixBackend::Serial => None,
+            MatrixBackend::Partitioned(pg) => Some(pg),
+        }
+    }
+
+    /// Re-shards a partitioned backend against the graph's current state
+    /// (call after committed insertions); a serial backend is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PartitionedGraph::new`] errors.
+    pub fn rebuild(&mut self, t: &GraphTensors) -> Result<()> {
+        if let MatrixBackend::Partitioned(pg) = self {
+            let parts = pg.partitions();
+            **pg = PartitionedGraph::new(t, parts)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one aggregate round through the selected backend; both arms
+    /// produce bit-identical results (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from the kernels, plus
+    /// [`TensorError::StaleCache`] from a partitioned backend whose graph
+    /// moved on (call [`MatrixBackend::rebuild`] after insertions).
+    pub fn aggregate(
+        &mut self,
+        t: &GraphTensors,
+        e: &Matrix,
+        w_pr: f32,
+        w_su: f32,
+    ) -> Result<Matrix> {
+        match self {
+            MatrixBackend::Serial => {
+                let (g, _, _) = t.aggregate(e, w_pr, w_su)?;
+                Ok(g)
+            }
+            MatrixBackend::Partitioned(pg) => pg.aggregate(t, e, w_pr, w_su),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphData;
+    use gcnt_netlist::{generate, GeneratorConfig};
+
+    fn data(nodes: usize) -> GraphData {
+        let net = generate(&GeneratorConfig::sized("bk", 3, nodes));
+        GraphData::from_netlist(&net, None).unwrap()
+    }
+
+    #[test]
+    fn partitioned_aggregate_matches_serial_bitwise() {
+        let d = data(300);
+        let e = &d.features;
+        let (serial, _, _) = d.tensors.aggregate(e, 0.45, 0.55).unwrap();
+        for parts in [1usize, 2, 3, 5, 8] {
+            let mut backend = MatrixBackend::partitioned(&d.tensors, parts).unwrap();
+            assert!(backend.is_partitioned());
+            let got = backend.aggregate(&d.tensors, e, 0.45, 0.55).unwrap();
+            assert_eq!(got, serial, "parts = {parts}");
+        }
+    }
+
+    #[test]
+    fn serial_backend_matches_graph_tensors() {
+        let d = data(150);
+        let (reference, _, _) = d.tensors.aggregate(&d.features, 0.5, 0.5).unwrap();
+        let mut backend = MatrixBackend::serial();
+        assert_eq!(backend.partition_count(), 1);
+        assert_eq!(backend.label(), "serial");
+        let got = backend
+            .aggregate(&d.tensors, &d.features, 0.5, 0.5)
+            .unwrap();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn stale_partitioning_is_refused_and_rebuild_heals() {
+        let net = generate(&GeneratorConfig::sized("bk", 5, 200));
+        let mut net = net;
+        let d = GraphData::from_netlist(&net, None).unwrap();
+        let mut t = d.tensors.clone();
+        let mut backend = MatrixBackend::partitioned(&t, 4).unwrap();
+        let target = net
+            .nodes()
+            .find(|&v| !net.fanout(v).is_empty())
+            .expect("internal node");
+        let op = net.insert_observation_point(target).unwrap();
+        t.insert_observation_point(target, op).unwrap();
+        let mut x = d.features.clone();
+        x.push_row(&[0.0, 1.0, 1.0, 0.0]).unwrap();
+        let err = backend.aggregate(&t, &x, 0.5, 0.5);
+        assert!(matches!(err, Err(TensorError::StaleCache { .. })));
+        backend.rebuild(&t).unwrap();
+        let (reference, _, _) = t.aggregate(&x, 0.5, 0.5).unwrap();
+        assert_eq!(backend.aggregate(&t, &x, 0.5, 0.5).unwrap(), reference);
+    }
+
+    #[test]
+    fn auto_stays_serial_for_small_designs() {
+        let d = data(120);
+        let backend = MatrixBackend::auto(&d.tensors);
+        assert!(!backend.is_partitioned(), "120 nodes must stay serial");
+    }
+}

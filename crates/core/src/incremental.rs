@@ -31,6 +31,7 @@
 
 use gcnt_tensor::{ops, Budget, Matrix, Result, TensorError};
 
+use crate::backend::MatrixBackend;
 use crate::{Gcn, GraphTensors, MultiStageGcn};
 
 /// Per-layer embeddings `E_1..E_D` of one [`Gcn`] on one graph state.
@@ -178,6 +179,27 @@ impl Gcn {
         x: &Matrix,
         budget: &Budget,
     ) -> Result<EmbeddingCache> {
+        self.embed_cached_budgeted_with(t, x, budget, &mut MatrixBackend::serial())
+    }
+
+    /// [`Gcn::embed_cached_budgeted`] through an explicit
+    /// [`MatrixBackend`]. The seeded cache is bit-identical across
+    /// backends, so the dirty-halo incremental patching that follows
+    /// (always serial — its frontier is a sparse row subset that does not
+    /// benefit from partitioning) composes with a partition-built cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gcn::embed_cached_budgeted`], plus
+    /// [`TensorError::StaleCache`] from a partitioned backend built
+    /// against an older graph generation.
+    pub fn embed_cached_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<EmbeddingCache> {
         if self.encoders().is_empty() {
             return Err(TensorError::LengthMismatch {
                 expected: 1,
@@ -188,7 +210,7 @@ impl Gcn {
         let mut e = x.clone();
         for enc in self.encoders() {
             budget.charge(e.rows() as u64)?;
-            let (g, _, _) = t.aggregate(&e, self.w_pr(), self.w_su())?;
+            let g = backend.aggregate(t, &e, self.w_pr(), self.w_su())?;
             e = ops::relu(&enc.forward(&g)?);
             layers.push(e.clone());
         }
@@ -370,7 +392,14 @@ impl<'m> CascadeSession<'m> {
     ///
     /// Returns a shape error if `x` does not match the graph.
     pub fn for_gcn(gcn: &'m Gcn, t: &GraphTensors, x: &Matrix) -> Result<Self> {
-        Self::open(std::slice::from_ref(gcn), 0.0, t, x, &Budget::unlimited())
+        Self::open(
+            std::slice::from_ref(gcn),
+            0.0,
+            t,
+            x,
+            &Budget::unlimited(),
+            &mut MatrixBackend::serial(),
+        )
     }
 
     /// [`CascadeSession::for_gcn`] under a cooperative work [`Budget`];
@@ -386,7 +415,33 @@ impl<'m> CascadeSession<'m> {
         x: &Matrix,
         budget: &Budget,
     ) -> Result<Self> {
-        Self::open(std::slice::from_ref(gcn), 0.0, t, x, budget)
+        Self::open(
+            std::slice::from_ref(gcn),
+            0.0,
+            t,
+            x,
+            budget,
+            &mut MatrixBackend::serial(),
+        )
+    }
+
+    /// [`CascadeSession::for_gcn_budgeted`] through an explicit
+    /// [`MatrixBackend`] for the opening full pass. The session it
+    /// produces is bit-identical to the serial one; later
+    /// `refresh`/`revert` calls always use the serial dirty-halo path.
+    ///
+    /// # Errors
+    ///
+    /// As [`CascadeSession::for_gcn_budgeted`], plus
+    /// [`TensorError::StaleCache`] from a stale partitioned backend.
+    pub fn for_gcn_budgeted_with(
+        gcn: &'m Gcn,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Self> {
+        Self::open(std::slice::from_ref(gcn), 0.0, t, x, budget, backend)
     }
 
     /// Opens a session over a trained cascade.
@@ -401,6 +456,7 @@ impl<'m> CascadeSession<'m> {
             t,
             x,
             &Budget::unlimited(),
+            &mut MatrixBackend::serial(),
         )
     }
 
@@ -418,7 +474,40 @@ impl<'m> CascadeSession<'m> {
         x: &Matrix,
         budget: &Budget,
     ) -> Result<Self> {
-        Self::open(model.stages(), model.filter_threshold(), t, x, budget)
+        Self::open(
+            model.stages(),
+            model.filter_threshold(),
+            t,
+            x,
+            budget,
+            &mut MatrixBackend::serial(),
+        )
+    }
+
+    /// [`CascadeSession::for_cascade_budgeted`] through an explicit
+    /// [`MatrixBackend`] for the opening full pass (every stage shares
+    /// the one backend — the adjacency, and hence the partitioning, is
+    /// stage-independent). Bit-identical to the serial open.
+    ///
+    /// # Errors
+    ///
+    /// As [`CascadeSession::for_cascade_budgeted`], plus
+    /// [`TensorError::StaleCache`] from a stale partitioned backend.
+    pub fn for_cascade_budgeted_with(
+        model: &'m MultiStageGcn,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Self> {
+        Self::open(
+            model.stages(),
+            model.filter_threshold(),
+            t,
+            x,
+            budget,
+            backend,
+        )
     }
 
     /// Reopens a session from persisted per-stage caches (e.g. a warm
@@ -509,12 +598,13 @@ impl<'m> CascadeSession<'m> {
         t: &GraphTensors,
         x: &Matrix,
         budget: &Budget,
+        backend: &mut MatrixBackend,
     ) -> Result<Self> {
         let n = t.node_count();
         let mut caches = Vec::with_capacity(stages.len());
         let mut stage_probs = Vec::with_capacity(stages.len());
         for gcn in stages {
-            let cache = gcn.embed_cached_budgeted(t, x, budget)?;
+            let cache = gcn.embed_cached_budgeted_with(t, x, budget, backend)?;
             let probs = ops::softmax_rows(&gcn.head().predict(cache.final_embedding())?);
             stage_probs.push((0..n).map(|r| probs.get(r, 1)).collect());
             caches.push(cache);

@@ -12,7 +12,9 @@
 //! 3. Inference is formulated as sparse matrix products over the COO/CSR
 //!    adjacency ([`GraphTensors`]), which is what makes the model scale to
 //!    millions of cells (§3.4.1, Fig. 10). The recursion-based baseline it
-//!    is compared against lives in [`recursive`].
+//!    is compared against lives in [`recursive`]. At the 10^5–10^6-node
+//!    scale, [`MatrixBackend`] swaps the serial CSR kernels for
+//!    partition-parallel sharded ones — bit-identically.
 //! 4. [`MultiStageGcn`] implements the imbalance-handling cascade of §3.3.
 //! 5. [`incremental`] caches per-layer embeddings and, when only a few
 //!    nodes change (an OP-insertion preview or commit), recomputes just the
@@ -35,6 +37,7 @@
 //! ```
 
 mod adjacency;
+pub mod backend;
 mod dataset;
 pub mod features;
 pub mod incremental;
@@ -46,6 +49,7 @@ pub mod recursive;
 pub mod train;
 
 pub use adjacency::GraphTensors;
+pub use backend::{MatrixBackend, PartitionedGraph};
 pub use dataset::{balanced_indices, train_test_rotation, GraphData};
 pub use incremental::{CascadeSession, EmbeddingCache, EmbeddingDelta, SessionDelta};
 pub use metrics::Confusion;

@@ -3,6 +3,7 @@ use serde::{Deserialize, Serialize};
 use gcnt_nn::{Linear, LinearGrads, Mlp, MlpCache, MlpGrads, Rng};
 use gcnt_tensor::{ops, Budget, Matrix, Result};
 
+use crate::backend::MatrixBackend;
 use crate::GraphTensors;
 
 /// Hyper-parameters of the GCN (§5 of the paper).
@@ -224,10 +225,47 @@ impl Gcn {
     /// [`gcnt_tensor::TensorError::Cancelled`]) from the checkpoint
     /// between layers.
     pub fn embed_budgeted(&self, t: &GraphTensors, x: &Matrix, budget: &Budget) -> Result<Matrix> {
+        self.embed_budgeted_with(t, x, budget, &mut MatrixBackend::serial())
+    }
+
+    /// [`Gcn::embed`] through an explicit [`MatrixBackend`]: the serial
+    /// backend reproduces [`Gcn::embed`] exactly, and the partitioned
+    /// backend produces bit-identical embeddings via partition-parallel
+    /// SpMM (see [`crate::backend`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the graph/node shape,
+    /// or [`gcnt_tensor::TensorError::StaleCache`] from a partitioned
+    /// backend built against an older graph generation.
+    pub fn embed_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        backend: &mut MatrixBackend,
+    ) -> Result<Matrix> {
+        self.embed_budgeted_with(t, x, &Budget::unlimited(), backend)
+    }
+
+    /// [`Gcn::embed_budgeted`] through an explicit [`MatrixBackend`].
+    /// Budget charging is backend-independent: each layer charges one
+    /// unit per node *before* aggregating, exactly as the serial path.
+    ///
+    /// # Errors
+    ///
+    /// Shape, budget and backend-staleness errors as in
+    /// [`Gcn::embed_budgeted`] and [`Gcn::embed_with`].
+    pub fn embed_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Matrix> {
         let mut e = x.clone();
         for enc in &self.encoders {
             budget.charge(e.rows() as u64)?;
-            let (g, _, _) = t.aggregate(&e, self.w_pr(), self.w_su())?;
+            let g = backend.aggregate(t, &e, self.w_pr(), self.w_su())?;
             e = ops::relu(&enc.forward(&g)?);
         }
         Ok(e)
@@ -256,6 +294,27 @@ impl Gcn {
         budget: &Budget,
     ) -> Result<Vec<f32>> {
         let logits = self.head.predict(&self.embed_budgeted(t, x, budget)?)?;
+        let probs = ops::softmax_rows(&logits);
+        Ok((0..probs.rows()).map(|r| probs.get(r, 1)).collect())
+    }
+
+    /// [`Gcn::predict_proba_budgeted`] through an explicit
+    /// [`MatrixBackend`]; bit-identical across backends.
+    ///
+    /// # Errors
+    ///
+    /// Shape, budget and backend-staleness errors as in
+    /// [`Gcn::embed_budgeted_with`].
+    pub fn predict_proba_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Vec<f32>> {
+        let logits = self
+            .head
+            .predict(&self.embed_budgeted_with(t, x, budget, backend)?)?;
         let probs = ops::softmax_rows(&logits);
         Ok((0..probs.rows()).map(|r| probs.get(r, 1)).collect())
     }

@@ -234,12 +234,32 @@ impl MultiStageGcn {
         x: &Matrix,
         budget: &gcnt_tensor::Budget,
     ) -> Result<Vec<f32>> {
+        self.predict_proba_budgeted_with(t, x, budget, &mut crate::MatrixBackend::serial())
+    }
+
+    /// [`MultiStageGcn::predict_proba_budgeted`] through an explicit
+    /// [`crate::MatrixBackend`]: every stage shares the one backend
+    /// (the adjacency, and hence any partitioning, is stage-independent).
+    /// Bit-identical probabilities across backends.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiStageGcn::predict_proba_budgeted`], plus
+    /// [`gcnt_tensor::TensorError::StaleCache`] from a partitioned
+    /// backend built against an older graph generation.
+    pub fn predict_proba_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &gcnt_tensor::Budget,
+        backend: &mut crate::MatrixBackend,
+    ) -> Result<Vec<f32>> {
         gcnt_obs::global().incr(gcnt_obs::counters::CORE_CASCADE_INFERENCES);
         let n = t.node_count();
         let mut out = vec![0.0f32; n];
         let mut alive: Vec<bool> = vec![true; n];
         for (s, gcn) in self.stages.iter().enumerate() {
-            let probs = gcn.predict_proba_budgeted(t, x, budget)?;
+            let probs = gcn.predict_proba_budgeted_with(t, x, budget, backend)?;
             let last = s + 1 == self.stages.len();
             for i in 0..n {
                 if !alive[i] {

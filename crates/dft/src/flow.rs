@@ -40,9 +40,12 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use gcnt_core::features::{squash, FeatureNormalizer, OBSERVATION_POINT_ATTRS, RAW_DIM};
-use gcnt_core::{CascadeSession, EmbeddingCache, Gcn, GraphTensors, MultiStageGcn, SessionDelta};
+use gcnt_core::{
+    CascadeSession, EmbeddingCache, Gcn, GraphTensors, MatrixBackend, MultiStageGcn, SessionDelta,
+};
 use gcnt_lint::{
-    lint_embedding_caches, lint_graph_tensors, lint_netlist, lint_scoap, LintReport, RuleId,
+    lint_embedding_caches, lint_graph_tensors, lint_netlist, lint_partitioned_graph, lint_scoap,
+    LintReport, RuleId,
 };
 use gcnt_netlist::{logic_levels, CellKind, Netlist, NetlistError, NodeId, Scoap};
 use gcnt_tensor::{Budget, Matrix, TensorError};
@@ -133,6 +136,7 @@ fn relint_incremental(
     tensors: &GraphTensors,
     scoap: &Scoap,
     caches: Option<&[EmbeddingCache]>,
+    backend: Option<&MatrixBackend>,
 ) -> Result<(), FlowError> {
     let mut report = lint_netlist(net);
     report.merge(lint_graph_tensors(net, tensors));
@@ -140,8 +144,25 @@ fn relint_incremental(
     if let Some(caches) = caches {
         report.merge(lint_embedding_caches(tensors, caches));
     }
+    if let Some(pg) = backend.and_then(MatrixBackend::partitioned_graph) {
+        report.merge(lint_partitioned_graph(tensors, pg, "flow.backend"));
+    }
     if report.has_errors() {
         return Err(report.into());
+    }
+    Ok(())
+}
+
+/// Re-shards a partitioned backend whose graph moved on (committed
+/// insertions bump the generation); serial backends and fresh
+/// partitionings are untouched. Called before every backend use, so the
+/// flow never hands a stale partitioning to a kernel.
+fn refresh_backend(backend: &mut MatrixBackend, t: &GraphTensors) -> Result<(), FlowError> {
+    let stale = backend
+        .partitioned_graph()
+        .is_some_and(|pg| pg.generation() != t.generation() || pg.node_count() != t.node_count());
+    if stale {
+        backend.rebuild(t)?;
     }
     Ok(())
 }
@@ -165,6 +186,78 @@ pub enum ImpactMode {
 impl Default for ImpactMode {
     fn default() -> Self {
         ImpactMode::Incremental
+    }
+}
+
+/// Which matrix backend the flow's full inference passes run on; see
+/// `gcnt_core::backend`. Probabilities — and hence the outcome — are
+/// bit-identical across all three choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowBackend {
+    /// Serial CSR kernels, the original path.
+    Serial,
+    /// Partition-parallel kernels regardless of design size (at least two
+    /// partitions, one per core up to the auto cap).
+    Partitioned,
+    /// Pick by design size and host parallelism
+    /// ([`MatrixBackend::auto`]): partitioned for 10^5-node-class designs
+    /// on multi-core hosts, serial otherwise.
+    Auto,
+}
+
+#[allow(clippy::derivable_impls)] // shim serde derive cannot parse #[default]
+impl Default for FlowBackend {
+    fn default() -> Self {
+        FlowBackend::Auto
+    }
+}
+
+impl FlowBackend {
+    /// Materialises the backend for the given graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition-construction errors for
+    /// [`FlowBackend::Partitioned`].
+    pub fn build(self, t: &GraphTensors) -> Result<MatrixBackend, TensorError> {
+        match self {
+            FlowBackend::Serial => Ok(MatrixBackend::serial()),
+            FlowBackend::Partitioned => {
+                let cores = std::thread::available_parallelism()
+                    .map(|c| c.get())
+                    .unwrap_or(1);
+                MatrixBackend::partitioned(
+                    t,
+                    cores.clamp(2, gcnt_core::backend::PARTITION_MAX_AUTO),
+                )
+            }
+            FlowBackend::Auto => Ok(MatrixBackend::auto(t)),
+        }
+    }
+}
+
+impl fmt::Display for FlowBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlowBackend::Serial => "serial",
+            FlowBackend::Partitioned => "partitioned",
+            FlowBackend::Auto => "auto",
+        })
+    }
+}
+
+impl std::str::FromStr for FlowBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "serial" => Ok(FlowBackend::Serial),
+            "partitioned" => Ok(FlowBackend::Partitioned),
+            "auto" => Ok(FlowBackend::Auto),
+            other => Err(format!(
+                "unknown backend '{other}' (use serial, partitioned or auto)"
+            )),
+        }
     }
 }
 
@@ -242,6 +335,44 @@ pub trait FlowClassifier {
     ) -> Result<Option<CascadeSession<'_>>, TensorError> {
         self.open_session(t, x)
     }
+
+    /// [`FlowClassifier::classify_budgeted`] through an explicit
+    /// [`MatrixBackend`]. The default ignores the backend and runs the
+    /// serial path — opaque closures cannot route their internals through
+    /// it; backend-aware classifiers ([`Gcn`], [`MultiStageGcn`])
+    /// override this with their bit-identical `_with` variants.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlowClassifier::classify_budgeted`], plus backend-staleness
+    /// errors for overriding implementations.
+    fn classify_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        _backend: &mut MatrixBackend,
+    ) -> Result<Vec<f32>, TensorError> {
+        self.classify_budgeted(t, x, budget)
+    }
+
+    /// [`FlowClassifier::open_session_budgeted`] through an explicit
+    /// [`MatrixBackend`] for the opening full pass; the default ignores
+    /// the backend.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlowClassifier::open_session_budgeted`], plus
+    /// backend-staleness errors for overriding implementations.
+    fn open_session_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        _backend: &mut MatrixBackend,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        self.open_session_budgeted(t, x, budget)
+    }
 }
 
 impl<F> FlowClassifier for F
@@ -287,6 +418,26 @@ impl FlowClassifier for Gcn {
     ) -> Result<Option<CascadeSession<'_>>, TensorError> {
         CascadeSession::for_gcn_budgeted(self, t, x, budget).map(Some)
     }
+
+    fn classify_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Vec<f32>, TensorError> {
+        self.predict_proba_budgeted_with(t, x, budget, backend)
+    }
+
+    fn open_session_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_gcn_budgeted_with(self, t, x, budget, backend).map(Some)
+    }
 }
 
 impl FlowClassifier for &Gcn {
@@ -322,6 +473,26 @@ impl FlowClassifier for &Gcn {
         budget: &Budget,
     ) -> Result<Option<CascadeSession<'_>>, TensorError> {
         CascadeSession::for_gcn_budgeted(self, t, x, budget).map(Some)
+    }
+
+    fn classify_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Vec<f32>, TensorError> {
+        Gcn::predict_proba_budgeted_with(self, t, x, budget, backend)
+    }
+
+    fn open_session_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_gcn_budgeted_with(self, t, x, budget, backend).map(Some)
     }
 }
 
@@ -359,6 +530,26 @@ impl FlowClassifier for MultiStageGcn {
     ) -> Result<Option<CascadeSession<'_>>, TensorError> {
         CascadeSession::for_cascade_budgeted(self, t, x, budget).map(Some)
     }
+
+    fn classify_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Vec<f32>, TensorError> {
+        self.predict_proba_budgeted_with(t, x, budget, backend)
+    }
+
+    fn open_session_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_cascade_budgeted_with(self, t, x, budget, backend).map(Some)
+    }
 }
 
 impl FlowClassifier for &MultiStageGcn {
@@ -395,6 +586,26 @@ impl FlowClassifier for &MultiStageGcn {
     ) -> Result<Option<CascadeSession<'_>>, TensorError> {
         CascadeSession::for_cascade_budgeted(self, t, x, budget).map(Some)
     }
+
+    fn classify_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Vec<f32>, TensorError> {
+        MultiStageGcn::predict_proba_budgeted_with(self, t, x, budget, backend)
+    }
+
+    fn open_session_budgeted_with(
+        &self,
+        t: &GraphTensors,
+        x: &Matrix,
+        budget: &Budget,
+        backend: &mut MatrixBackend,
+    ) -> Result<Option<CascadeSession<'_>>, TensorError> {
+        CascadeSession::for_cascade_budgeted_with(self, t, x, budget, backend).map(Some)
+    }
 }
 
 /// Configuration of the iterative flow.
@@ -424,6 +635,9 @@ pub struct FlowConfig {
     /// [`ImpactMode::Incremental`]. The two modes produce bit-identical
     /// outcomes — only [`FlowOutcome::inference`] differs.
     pub impact_mode: ImpactMode,
+    /// Matrix backend for full inference passes; defaults to
+    /// [`FlowBackend::Auto`]. All choices are bit-identical.
+    pub backend: FlowBackend,
 }
 
 impl Default for FlowConfig {
@@ -436,6 +650,7 @@ impl Default for FlowConfig {
             cone_limit: 500,
             skip_budget: 0,
             impact_mode: ImpactMode::Incremental,
+            backend: FlowBackend::Auto,
         }
     }
 }
@@ -724,6 +939,7 @@ fn current_probs<F: FlowClassifier>(
     classify: &F,
     stats: &mut InferenceStats,
     budget: &Budget,
+    backend: &mut MatrixBackend,
 ) -> Result<Vec<f32>, FlowError> {
     match session.as_mut() {
         Some(s) => {
@@ -745,7 +961,13 @@ fn current_probs<F: FlowClassifier>(
             Ok(s.probs().to_vec())
         }
         None => {
-            let probs = classify.classify_budgeted(&state.tensors, &state.features, budget)?;
+            refresh_backend(backend, &state.tensors)?;
+            let probs = classify.classify_budgeted_with(
+                &state.tensors,
+                &state.features,
+                budget,
+                backend,
+            )?;
             note_full_pass(stats, classify, state.tensors.node_count());
             Ok(probs)
         }
@@ -832,7 +1054,7 @@ where
             } else if rec.inserted.is_empty() {
                 loop_done = true; // the run broke on a no-progress iteration
             } else {
-                relint_incremental(&state.net, &state.tensors, &state.scoap, None)?;
+                relint_incremental(&state.net, &state.tensors, &state.scoap, None, None)?;
             }
             // The uninterrupted run drained these dirty rows at the next
             // iteration's refresh — already paid for inside the journaled
@@ -851,13 +1073,23 @@ where
             return Ok(());
         }
 
+        // The matrix backend for full inference passes, built against the
+        // post-replay graph state. Commits bump the generation;
+        // `refresh_backend` re-shards lazily before each use.
+        let mut backend = cfg.backend.build(&state.tensors)?;
+
         // One live session for the whole run (Incremental mode with a
         // session-capable classifier); its opening full pass is counted —
         // except on resume, where the original run's opening pass is
         // already inside the restored stats.
         let mut session: Option<CascadeSession<'_>> = match cfg.impact_mode {
             ImpactMode::Incremental => {
-                let s = classify.open_session_budgeted(&state.tensors, &state.features, budget)?;
+                let s = classify.open_session_budgeted_with(
+                    &state.tensors,
+                    &state.features,
+                    budget,
+                    &mut backend,
+                )?;
                 if s.is_some() && resume.is_empty() {
                     note_full_pass(&mut stats, &classify, state.tensors.node_count());
                 }
@@ -876,7 +1108,14 @@ where
             let _iter_span = gcnt_obs::span(gcnt_obs::histograms::DFT_FLOW_ITERATION_NS);
             gcnt_obs::global().incr(gcnt_obs::counters::DFT_FLOW_ITERATIONS);
             let skipped_before = skipped.len();
-            let probs = current_probs(&mut state, &mut session, &classify, &mut stats, budget)?;
+            let probs = current_probs(
+                &mut state,
+                &mut session,
+                &classify,
+                &mut stats,
+                budget,
+                &mut backend,
+            )?;
             // Positive predictions, excluding nodes that are already
             // observed or are themselves observe points.
             let mut positives: Vec<(NodeId, f32)> = state
@@ -923,6 +1162,7 @@ where
                     session.as_mut(),
                     &mut stats,
                     budget,
+                    &mut backend,
                     v,
                     cfg,
                 )?;
@@ -981,11 +1221,16 @@ where
                 inserted: inserted_now,
             });
             if inserted_now > 0 {
+                // Re-shard eagerly so the post-batch lint (PT001) checks a
+                // partitioning that matches the committed state — the same
+                // state the next full pass would use.
+                refresh_backend(&mut backend, &state.tensors)?;
                 relint_incremental(
                     &state.net,
                     &state.tensors,
                     &state.scoap,
                     session.as_ref().map(|s| s.caches()),
+                    Some(&backend),
                 )?;
             }
             // Journal the batch only once it is lint-clean: a record is a
@@ -1005,7 +1250,14 @@ where
 
         // Final positive count if we exited by iteration cap.
         if !converged {
-            let probs = current_probs(&mut state, &mut session, &classify, &mut stats, budget)?;
+            let probs = current_probs(
+                &mut state,
+                &mut session,
+                &classify,
+                &mut stats,
+                budget,
+                &mut backend,
+            )?;
             remaining = state
                 .net
                 .nodes()
@@ -1051,6 +1303,7 @@ fn evaluate_impact<F: FlowClassifier>(
     session: Option<&mut CascadeSession<'_>>,
     stats: &mut InferenceStats,
     budget: &Budget,
+    backend: &mut MatrixBackend,
     target: NodeId,
     cfg: &FlowConfig,
 ) -> Result<i64, FlowError> {
@@ -1079,7 +1332,7 @@ fn evaluate_impact<F: FlowClassifier>(
         dirty.push(i);
     }
     let scored = score_preview(
-        tensors, features, &dirty, &cone, classify, session, stats, budget, cfg,
+        tensors, features, &dirty, &cone, classify, session, stats, budget, backend, cfg,
     );
     // Always restore the previewed cells, error path included.
     for &(i, old) in undo.iter().rev() {
@@ -1101,6 +1354,7 @@ fn score_preview<F: FlowClassifier>(
     session: Option<&mut CascadeSession<'_>>,
     stats: &mut InferenceStats,
     budget: &Budget,
+    backend: &mut MatrixBackend,
     cfg: &FlowConfig,
 ) -> Result<i64, FlowError> {
     match session {
@@ -1115,7 +1369,9 @@ fn score_preview<F: FlowClassifier>(
             Ok(pos)
         }
         None => {
-            let probs_after = classify.classify_budgeted(tensors, features, budget)?;
+            refresh_backend(backend, tensors)?;
+            let probs_after =
+                classify.classify_budgeted_with(tensors, features, budget, backend)?;
             note_full_pass(stats, classify, tensors.node_count());
             Ok(cone
                 .iter()
@@ -1386,7 +1642,7 @@ mod tests {
         let smaller = shadowed_design(97);
         let tensors = GraphTensors::from_netlist(&smaller);
         let scoap = Scoap::compute(&net).unwrap();
-        let err = relint_incremental(&net, &tensors, &scoap, None).unwrap_err();
+        let err = relint_incremental(&net, &tensors, &scoap, None, None).unwrap_err();
         match err {
             FlowError::Lint(report) => {
                 assert!(report.fired(RuleId::AdjacencyNetlistMismatch), "{report}")
@@ -1449,6 +1705,7 @@ mod tests {
                 None,
                 &mut stats,
                 &Budget::unlimited(),
+                &mut MatrixBackend::serial(),
                 target,
                 &cfg,
             )

@@ -34,6 +34,7 @@
 //! | `PG001` | `page-checksum-mismatch` | error | store page integrity (magic/length/checksum) |
 //! | `PG002` | `store-version-unsupported` | error | store metadata format version known |
 //! | `PG003` | `segment-page-missing` | error | segment page refs within committed count |
+//! | `PT001` | `partition-consistency` | error | sharded adjacency invariants and freshness |
 //!
 //! The catalogue is available programmatically via [`registry::RULES`].
 //!
@@ -58,6 +59,9 @@
 //! - [`lint_embedding_cache`] / [`lint_embedding_caches`] — incremental
 //!   inference caches against their graph, checked by the flow after
 //!   every insertion batch.
+//! - [`lint_partitioned_csr`] / [`lint_partitioned_graph`] — sharded
+//!   adjacency invariants and freshness, checked alongside the caches
+//!   when the flow runs on the partitioned backend.
 //! - [`lint_design`] — everything derivable from a netlist in one call;
 //!   this is what `gcnt lint` runs.
 //!
@@ -90,6 +94,7 @@ mod journal_rules;
 mod model_rules;
 mod netlist_rules;
 mod page_rules;
+mod partition_rules;
 mod tensor_rules;
 
 pub use checkpoint_rules::{lint_checkpoint_meta, lint_optimizer_shape, CheckpointMeta};
@@ -102,6 +107,7 @@ pub use netlist_rules::{lint_levels, lint_netlist, lint_netlist_deep, lint_scoap
 pub use page_rules::{
     lint_store_pages, lint_store_segments, lint_store_version, PageMeta, SegmentMeta,
 };
+pub use partition_rules::{lint_partitioned_csr, lint_partitioned_graph};
 pub use report::{Finding, LintReport, RuleId, Severity};
 pub use tensor_rules::{lint_coo, lint_csr, lint_graph_tensors};
 

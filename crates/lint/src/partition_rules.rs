@@ -1,0 +1,207 @@
+//! `PT` rules: partitioned-adjacency consistency.
+//!
+//! The partition-parallel SpMM (`gcnt_tensor::PartitionedCsr`) relies on
+//! structural invariants — covering monotone row boundaries, per-block
+//! local `indptr` arenas, remapped column encodings, sorted halo tables —
+//! that, if violated, produce *wrong embeddings* rather than a crash: a
+//! halo index past its table silently reads another block's scratch.
+//! `PT001` re-validates the sharded form against itself and against the
+//! graph it claims to shard, the same post-insertion checkpoint at which
+//! `EC001` validates embedding caches.
+
+use gcnt_core::{GraphTensors, PartitionedGraph};
+use gcnt_tensor::PartitionedCsr;
+
+use crate::report::{LintReport, RuleId};
+
+/// `PT001 partition-consistency`: structural invariants of one sharded
+/// CSR matrix. Checks that the partition boundaries cover `0..rows`
+/// monotonically, every block's local `indptr` starts at zero, is
+/// monotone and ends at the block's nnz, every remapped column index
+/// either lands inside its own block or inside the block's halo table,
+/// and every halo table is strictly sorted with only out-of-block
+/// global columns.
+pub fn lint_partitioned_csr(csr: &PartitionedCsr, context: &str) -> LintReport {
+    let mut report = LintReport::new();
+    let rows = csr.rows();
+    let cols = csr.cols();
+    let starts = csr.starts();
+    if starts.first().copied() != Some(0) || starts.last().copied() != Some(rows) {
+        report.report(
+            RuleId::PartitionConsistency,
+            context,
+            format!("partition boundaries do not cover rows 0..{rows}"),
+        );
+    }
+    if starts.iter().zip(starts.iter().skip(1)).any(|(a, b)| a > b) {
+        report.report(
+            RuleId::PartitionConsistency,
+            context,
+            "partition boundaries are not monotone non-decreasing",
+        );
+    }
+    for p in 0..csr.partitions() {
+        let range = csr.partition_rows(p);
+        let nnz_lo = csr.nnz_starts().get(p).copied().unwrap_or(0);
+        let nnz_hi = csr.nnz_starts().get(p + 1).copied().unwrap_or(nnz_lo);
+        let block_nnz = nnz_hi.saturating_sub(nnz_lo);
+        let ip = csr
+            .indptr()
+            .get(range.start + p..range.end + p + 1)
+            .unwrap_or(&[]);
+        let ends_at_nnz = ip.last().map(|&e| e as usize) == Some(block_nnz);
+        if ip.first().copied() != Some(0) || !ends_at_nnz {
+            report.report(
+                RuleId::PartitionConsistency,
+                context,
+                format!("block {p} local indptr does not span 0..{block_nnz}"),
+            );
+        }
+        if ip.iter().zip(ip.iter().skip(1)).any(|(a, b)| a > b) {
+            report.report(
+                RuleId::PartitionConsistency,
+                context,
+                format!("block {p} local indptr is not monotone"),
+            );
+        }
+        let halo_lo = csr.halo_starts().get(p).copied().unwrap_or(0);
+        let halo_hi = csr.halo_starts().get(p + 1).copied().unwrap_or(halo_lo);
+        let halo = csr.halo_cols().get(halo_lo..halo_hi).unwrap_or(&[]);
+        let bad_cols = csr
+            .indices()
+            .get(nnz_lo..nnz_hi)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|&&c| {
+                let c = c as usize;
+                if c < cols {
+                    !range.contains(&c)
+                } else {
+                    c - cols >= halo.len()
+                }
+            })
+            .count();
+        if bad_cols > 0 {
+            report.report(
+                RuleId::PartitionConsistency,
+                context,
+                format!("block {p} holds {bad_cols} column index(es) outside its rows and halo"),
+            );
+        }
+        if halo.iter().zip(halo.iter().skip(1)).any(|(a, b)| a >= b) {
+            report.report(
+                RuleId::PartitionConsistency,
+                context,
+                format!("block {p} halo table is not strictly sorted"),
+            );
+        }
+        let bad_halo = halo
+            .iter()
+            .filter(|&&h| {
+                let h = h as usize;
+                h >= cols || range.contains(&h)
+            })
+            .count();
+        if bad_halo > 0 {
+            report.report(
+                RuleId::PartitionConsistency,
+                context,
+                format!("block {p} halo table holds {bad_halo} in-block or out-of-range column(s)"),
+            );
+        }
+    }
+    report
+}
+
+/// `PT001` over a whole partitioned graph: both sharded adjacencies, the
+/// shared-plan invariant (pred and succ must agree on boundaries so a
+/// partition owns the same node range in either direction), and
+/// freshness against the graph's generation and node count — a
+/// partitioning that lags an insertion would silently aggregate without
+/// the new node.
+pub fn lint_partitioned_graph(
+    tensors: &GraphTensors,
+    pg: &PartitionedGraph,
+    context: &str,
+) -> LintReport {
+    let mut report = lint_partitioned_csr(pg.pred(), &format!("{context}.pred"));
+    report.merge(lint_partitioned_csr(pg.succ(), &format!("{context}.succ")));
+    if pg.pred().starts() != pg.succ().starts() {
+        report.report(
+            RuleId::PartitionConsistency,
+            context,
+            "pred and succ partitions disagree on row boundaries (shared-plan violation)",
+        );
+    }
+    if pg.generation() != tensors.generation() {
+        report.report(
+            RuleId::PartitionConsistency,
+            context,
+            format!(
+                "partitioning generation {} does not match graph generation {}",
+                pg.generation(),
+                tensors.generation()
+            ),
+        );
+    }
+    if pg.node_count() != tensors.node_count() {
+        report.report(
+            RuleId::PartitionConsistency,
+            context,
+            format!(
+                "partitioning covers {} nodes but the graph has {}",
+                pg.node_count(),
+                tensors.node_count()
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcnt_core::{GraphData, MatrixBackend};
+    use gcnt_netlist::{generate, GeneratorConfig};
+    use gcnt_tensor::PartitionedCsr;
+
+    fn design() -> (gcnt_netlist::Netlist, GraphData) {
+        let net = generate(&GeneratorConfig::sized("pt", 9, 160));
+        let data = GraphData::from_netlist(&net, None).unwrap();
+        (net, data)
+    }
+
+    #[test]
+    fn fresh_partitioning_is_clean() {
+        let (_, data) = design();
+        for parts in [1usize, 3, 7] {
+            let csr = PartitionedCsr::from_csr(data.tensors.pred(), parts).unwrap();
+            let report = lint_partitioned_csr(&csr, "tensors.pred");
+            assert!(report.is_clean(), "parts {parts}: {report}");
+        }
+        let backend = MatrixBackend::partitioned(&data.tensors, 4).unwrap();
+        let pg = backend.partitioned_graph().expect("partitioned");
+        let report = lint_partitioned_graph(&data.tensors, pg, "backend");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn stale_partitioning_fires_pt001() {
+        let (mut net, data) = design();
+        let mut tensors = data.tensors.clone();
+        let backend = MatrixBackend::partitioned(&tensors, 4).unwrap();
+        let target = net
+            .nodes()
+            .find(|&v| !net.fanout(v).is_empty())
+            .expect("generated design has internal nodes");
+        let op = net.insert_observation_point(target).unwrap();
+        tensors.insert_observation_point(target, op).unwrap();
+        let pg = backend.partitioned_graph().expect("partitioned");
+        let report = lint_partitioned_graph(&tensors, pg, "backend");
+        assert!(report.fired(RuleId::PartitionConsistency));
+        assert!(report.has_errors());
+        // One generation finding plus one node-count finding.
+        assert_eq!(report.of_rule(RuleId::PartitionConsistency).count(), 2);
+        assert_eq!(RuleId::PartitionConsistency.code(), "PT001");
+    }
+}

@@ -169,6 +169,13 @@ pub const RULES: &[RuleDescriptor] = &[
         severity: Severity::Error,
         summary: "segment references a page past the committed page count",
     },
+    RuleDescriptor {
+        id: RuleId::PartitionConsistency,
+        code: "PT001",
+        slug: "partition-consistency",
+        severity: Severity::Error,
+        summary: "partitioned adjacency violates sharding invariants or lags its graph",
+    },
 ];
 
 /// Looks up the descriptor of a rule.
@@ -203,6 +210,7 @@ mod tests {
         assert!(RULES.iter().any(|r| r.code.starts_with("EC")));
         assert!(RULES.iter().any(|r| r.code.starts_with("JN")));
         assert!(RULES.iter().any(|r| r.code.starts_with("PG")));
-        assert_eq!(RULES.len(), 21);
+        assert!(RULES.iter().any(|r| r.code.starts_with("PT")));
+        assert_eq!(RULES.len(), 22);
     }
 }

@@ -98,6 +98,11 @@ pub enum RuleId {
     /// `PG003 segment-page-missing`: a committed segment references a
     /// page index past the store's committed page count.
     SegmentPageMissing,
+    /// `PT001 partition-consistency`: a partitioned adjacency violates
+    /// its sharding invariants (non-covering boundaries, broken local
+    /// indptr, column index outside its block and halo, unsorted halo
+    /// table) or was built at a different graph generation/size.
+    PartitionConsistency,
 }
 
 impl RuleId {

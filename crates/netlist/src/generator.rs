@@ -159,6 +159,51 @@ impl DesignPreset {
         cfg.max_fanin = fanin;
         cfg
     }
+
+    /// Target node count of this preset at *paper scale* — the 10^5–10^6
+    /// range of the paper's four industrial designs (Table 1 lists up to
+    /// ~1.4M cells). This is the scale the partitioned matrix backend
+    /// exists for.
+    pub fn paper_scale(self) -> usize {
+        match self {
+            DesignPreset::B1 => 120_000,
+            DesignPreset::B2 => 260_000,
+            DesignPreset::B3 => 520_000,
+            DesignPreset::B4 => 960_000,
+        }
+    }
+
+    /// [`DesignPreset::config`] at [`DesignPreset::paper_scale`], with a
+    /// per-preset *fanout profile*: hub-net density and attach
+    /// probability, fanin locality, and long-edge rate differ per design,
+    /// mimicking how four real SoCs differ in clock-gating/reset fanout
+    /// structure. Larger presets carry denser hub trees — exactly the
+    /// skew the fanout-balanced partition planner has to absorb.
+    pub fn paper_config(self) -> GeneratorConfig {
+        let mut cfg = self.config(self.paper_scale());
+        match self {
+            DesignPreset::B1 => {
+                cfg.hub_attach_prob = 0.04;
+            }
+            DesignPreset::B2 => {
+                cfg.hub_attach_prob = 0.06;
+                cfg.locality = 384;
+                cfg.long_edge_prob = 0.10;
+            }
+            DesignPreset::B3 => {
+                cfg.hub_count = (cfg.gates / 30_000).max(8);
+                cfg.hub_attach_prob = 0.08;
+                cfg.locality = 512;
+            }
+            DesignPreset::B4 => {
+                cfg.hub_count = (cfg.gates / 20_000).max(16);
+                cfg.hub_attach_prob = 0.10;
+                cfg.locality = 768;
+                cfg.long_edge_prob = 0.12;
+            }
+        }
+        cfg
+    }
 }
 
 /// Generates a synthetic scan-mode netlist.
@@ -494,6 +539,41 @@ mod tests {
         assert!(
             max >= median.saturating_mul(4),
             "max co {max} vs median {median}: no hard tail"
+        );
+    }
+
+    #[test]
+    fn paper_scale_targets_span_1e5_to_1e6() {
+        let scales: Vec<usize> = DesignPreset::ALL.iter().map(|p| p.paper_scale()).collect();
+        assert!(scales.windows(2).all(|w| w[0] < w[1]), "{scales:?}");
+        assert!(scales.iter().all(|&s| (100_000..=1_000_000).contains(&s)));
+    }
+
+    #[test]
+    fn paper_configs_have_distinct_fanout_profiles() {
+        let cfgs: Vec<_> = DesignPreset::ALL.iter().map(|p| p.paper_config()).collect();
+        for i in 0..cfgs.len() {
+            for j in (i + 1)..cfgs.len() {
+                let (a, b) = (&cfgs[i], &cfgs[j]);
+                assert!(
+                    a.hub_attach_prob != b.hub_attach_prob
+                        || a.locality != b.locality
+                        || a.long_edge_prob != b.long_edge_prob,
+                    "presets {i} and {j} share a fanout profile"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_paper_preset_generates_at_1e5_scale() {
+        let cfg = DesignPreset::B1.paper_config();
+        let net = generate(&cfg);
+        let n = net.node_count();
+        let target = DesignPreset::B1.paper_scale();
+        assert!(
+            n >= target * 4 / 5 && n <= target * 13 / 10,
+            "node count {n} far from target {target}"
         );
     }
 

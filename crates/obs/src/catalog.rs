@@ -152,6 +152,9 @@ declare_counters! {
     /// Cooperative budget charges rejected with `Cancelled`.
     TENSOR_BUDGET_CANCELS => "gcnt_tensor_budget_cancels_total",
         "Work-budget charges rejected because the budget was cancelled";
+    /// Halo rows gathered from other partitions by partitioned SpMM.
+    TENSOR_HALO_ROWS => "gcnt_tensor_halo_rows_exchanged_total",
+        "Halo rows exchanged between partitions by partitioned SpMM";
 
     // --- core: training, cascade, incremental inference ---
     /// Training epochs completed (`gcnt_core::train`).
@@ -318,6 +321,9 @@ declare_gauges! {
     /// On-disk bytes of the current flow journal file.
     SERVE_JOURNAL_BYTES => "gcnt_serve_journal_bytes",
         "On-disk bytes of the current flow journal file";
+    /// Partitions in the most recently built partitioned adjacency.
+    TENSOR_PARTITIONS_ACTIVE => "gcnt_tensor_partitions_active",
+        "Partitions in the most recently built partitioned adjacency";
 }
 
 declare_histograms! {
@@ -342,6 +348,9 @@ declare_histograms! {
     /// Journal records folded into pages per compaction run.
     STORE_COMPACTION_RECORDS => "gcnt_store_compaction_records",
         "Journal records folded into store pages per compaction", ROW_BUCKETS;
+    /// Wall-clock latency of one partition worker's SpMM block.
+    TENSOR_PARTITION_SPMM_NS => "gcnt_tensor_partition_spmm_ns",
+        "Per-partition SpMM worker latency (ns)", NS_BUCKETS;
 }
 
 /// Number of counters in the catalog.

@@ -23,7 +23,7 @@
 
 use std::fmt;
 
-use gcnt_core::{CascadeSession, EmbeddingCache, GraphTensors, MultiStageGcn};
+use gcnt_core::{CascadeSession, EmbeddingCache, GraphTensors, MatrixBackend, MultiStageGcn};
 use gcnt_tensor::{Budget, Matrix, TensorError};
 
 use crate::error::ServeError;
@@ -134,6 +134,34 @@ pub fn classify_with_ladder_sessioned(
     budget: &Budget,
     poison_incremental: bool,
 ) -> Result<(LadderResult, Option<Vec<EmbeddingCache>>), ServeError> {
+    classify_with_ladder_backed(
+        model,
+        t,
+        x,
+        budget,
+        poison_incremental,
+        &mut MatrixBackend::serial(),
+    )
+}
+
+/// [`classify_with_ladder_sessioned`] on an explicit [`MatrixBackend`]:
+/// the two full-quality rungs run their SpMM aggregations through
+/// `backend` (bit-identical to serial by construction), so a large design
+/// can answer on the partition-parallel kernels. The unbudgeted floor
+/// rung stays serial — it is the availability guarantee and must not
+/// depend on a shard plan that could be stale.
+///
+/// # Errors
+///
+/// As [`classify_with_ladder`].
+pub fn classify_with_ladder_backed(
+    model: &MultiStageGcn,
+    t: &GraphTensors,
+    x: &Matrix,
+    budget: &Budget,
+    poison_incremental: bool,
+    backend: &mut MatrixBackend,
+) -> Result<(LadderResult, Option<Vec<EmbeddingCache>>), ServeError> {
     let mut dropped = Vec::new();
 
     // Rung 0: incremental session.
@@ -143,7 +171,7 @@ pub fn classify_with_ladder_sessioned(
             cause: TensorError::StaleCache { cache: 0, graph: 1 }.to_string() + " (injected)",
         });
     } else {
-        match CascadeSession::for_cascade_budgeted(model, t, x, budget) {
+        match CascadeSession::for_cascade_budgeted_with(model, t, x, budget, backend) {
             Ok(session) => {
                 let probs = session.probs().to_vec();
                 return Ok((
@@ -164,7 +192,7 @@ pub fn classify_with_ladder_sessioned(
     }
 
     // Rung 1: full sparse inference.
-    match model.predict_proba_budgeted(t, x, budget) {
+    match model.predict_proba_budgeted_with(t, x, budget, backend) {
         Ok(probs) => {
             return Ok((
                 LadderResult {
@@ -302,6 +330,34 @@ mod tests {
                 );
             }
             last_depth = Some(out.rung.depth());
+        }
+    }
+
+    #[test]
+    fn partitioned_backend_answers_bitwise_like_serial_on_every_rung() {
+        let (data, model) = fixture();
+        for (cap, poison) in [(u64::MAX, false), (u64::MAX, true), (3, false)] {
+            let budget = Budget::with_cap(cap);
+            let mut backend = MatrixBackend::partitioned(&data.tensors, 3).unwrap();
+            let (backed, _) = classify_with_ladder_backed(
+                &model,
+                &data.tensors,
+                &data.features,
+                &budget,
+                poison,
+                &mut backend,
+            )
+            .unwrap();
+            let serial = classify_with_ladder(
+                &model,
+                &data.tensors,
+                &data.features,
+                &Budget::with_cap(cap),
+                poison,
+            )
+            .unwrap();
+            assert_eq!(backed.rung, serial.rung, "cap {cap} poison {poison}");
+            assert_eq!(backed.probs, serial.probs, "cap {cap} poison {poison}");
         }
     }
 

@@ -74,7 +74,8 @@ pub use breaker::{BreakerConfig, CircuitBreaker, RetryPolicy};
 pub use error::ServeError;
 pub use journal::{FlowJournal, JournalHeader, Recovered, JOURNAL_SEGMENT_KIND, JOURNAL_VERSION};
 pub use ladder::{
-    classify_with_ladder, classify_with_ladder_sessioned, LadderResult, Rung, RungDrop,
+    classify_with_ladder, classify_with_ladder_backed, classify_with_ladder_sessioned,
+    LadderResult, Rung, RungDrop,
 };
 pub use queue::BoundedQueue;
 pub use server::{

@@ -12,7 +12,9 @@ use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::thread;
 
-use gcnt_core::{features::FeatureNormalizer, CascadeSession, GraphData, MultiStageGcn};
+use gcnt_core::{
+    features::FeatureNormalizer, CascadeSession, GraphData, MatrixBackend, MultiStageGcn,
+};
 use gcnt_dft::flow::{run_gcn_opi_resumable, FlowConfig, FlowError, FlowOutcome};
 use gcnt_netlist::Netlist;
 use gcnt_runtime::FaultPlan;
@@ -21,7 +23,7 @@ use gcnt_tensor::Budget;
 use crate::breaker::{BreakerConfig, CircuitBreaker, RetryPolicy};
 use crate::error::ServeError;
 use crate::journal::{FlowJournal, JournalHeader};
-use crate::ladder::{classify_with_ladder_sessioned, LadderResult, Rung, RungDrop};
+use crate::ladder::{classify_with_ladder_backed, LadderResult, Rung, RungDrop};
 use crate::queue::BoundedQueue;
 use crate::store::{design_fingerprint, JobStore};
 
@@ -304,6 +306,10 @@ impl ServeCore {
             }
         }
 
+        // Per-design backend choice: large graphs answer on the
+        // partition-parallel kernels (bit-identical probabilities), small
+        // ones skip the sharding overhead.
+        let mut backend = MatrixBackend::auto(&data.tensors);
         let ladder_span = obs.is_enabled().then(std::time::Instant::now);
         let (
             LadderResult {
@@ -312,12 +318,13 @@ impl ServeCore {
                 dropped,
             },
             caches,
-        ) = classify_with_ladder_sessioned(
+        ) = classify_with_ladder_backed(
             &self.model,
             &data.tensors,
             &data.features,
             &budget,
             poisoned,
+            &mut backend,
         )?;
         if let Some(started) = ladder_span {
             let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);

@@ -220,15 +220,17 @@ impl CsrMatrix {
         {
             return false;
         }
-        if self.indptr.windows(2).any(|w| w[0] > w[1]) {
+        if self.indptr.windows(2).any(|w| matches!(w, [a, b] if a > b)) {
             return false;
         }
-        for r in 0..self.rows {
-            let row = &self.indices[self.indptr[r]..self.indptr[r + 1]];
+        for (&start, &end) in self.indptr.iter().zip(self.indptr.iter().skip(1)) {
+            // Monotone indptr ending at nnz (checked above) keeps every
+            // range in bounds; `get` is belt-and-braces.
+            let row = self.indices.get(start..end).unwrap_or(&[]);
             if row.iter().any(|&c| c as usize >= self.cols) {
                 return false;
             }
-            if row.windows(2).any(|w| w[0] >= w[1]) {
+            if row.windows(2).any(|w| matches!(w, [a, b] if a >= b)) {
                 return false;
             }
         }
@@ -242,11 +244,13 @@ impl CsrMatrix {
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
         assert!(r < self.rows, "row index out of bounds");
-        let start = self.indptr[r];
-        let end = self.indptr[r + 1];
-        self.indices[start..end]
+        let start = self.indptr.get(r).copied().unwrap_or(0);
+        let end = self.indptr.get(r + 1).copied().unwrap_or(start);
+        self.indices
+            .get(start..end)
+            .unwrap_or(&[])
             .iter()
-            .zip(&self.values[start..end])
+            .zip(self.values.get(start..end).unwrap_or(&[]))
             .map(|(&c, &v)| (c as usize, v))
     }
 
@@ -277,12 +281,12 @@ impl CsrMatrix {
         let n = rhs.cols();
         let mut out = Matrix::zeros(self.rows, n);
         let row_kernel = |(r, out_row): (usize, &mut [f32])| {
-            let start = self.indptr[r];
-            let end = self.indptr[r + 1];
-            for k in start..end {
-                let c = self.indices[k] as usize;
-                let v = self.values[k];
-                let rhs_row = rhs.row(c);
+            let start = self.indptr.get(r).copied().unwrap_or(0);
+            let end = self.indptr.get(r + 1).copied().unwrap_or(start);
+            let idx = self.indices.get(start..end).unwrap_or(&[]);
+            let vals = self.values.get(start..end).unwrap_or(&[]);
+            for (&ci, &v) in idx.iter().zip(vals) {
+                let rhs_row = rhs.row(ci as usize);
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += v * b;
                 }
@@ -337,7 +341,10 @@ impl CsrMatrix {
             obs.add(gcnt_obs::counters::TENSOR_SPMM_ROWS, rows.len() as u64);
             let nnz: usize = rows
                 .iter()
-                .map(|&r| self.indptr[r + 1] - self.indptr[r])
+                .map(|&r| {
+                    let start = self.indptr.get(r).copied().unwrap_or(0);
+                    self.indptr.get(r + 1).copied().unwrap_or(start) - start
+                })
                 .sum();
             obs.add(gcnt_obs::counters::TENSOR_SPMM_NNZ, nnz as u64);
         }
@@ -348,12 +355,12 @@ impl CsrMatrix {
         }
         let data = out.as_mut_slice();
         for (out_row, &r) in data.chunks_mut(n).zip(rows) {
-            let start = self.indptr[r];
-            let end = self.indptr[r + 1];
-            for k in start..end {
-                let c = self.indices[k] as usize;
-                let v = self.values[k];
-                let rhs_row = rhs.row(c);
+            let start = self.indptr.get(r).copied().unwrap_or(0);
+            let end = self.indptr.get(r + 1).copied().unwrap_or(start);
+            let idx = self.indices.get(start..end).unwrap_or(&[]);
+            let vals = self.values.get(start..end).unwrap_or(&[]);
+            for (&ci, &v) in idx.iter().zip(vals) {
+                let rhs_row = rhs.row(ci as usize);
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += v * b;
                 }

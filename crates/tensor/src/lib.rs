@@ -11,6 +11,10 @@
 //! * [`CsrMatrix`] — compressed sparse row matrix with a parallel
 //!   sparse×dense product ([`CsrMatrix::spmm`]), the kernel behind the
 //!   matrix-form inference `E_d = σ((A·E_{d-1})·W_d)` of §3.4.1.
+//! * [`PartitionedCsr`] — the same adjacency sharded into contiguous
+//!   fanout-balanced row blocks with per-partition halos, whose
+//!   partition-parallel [`PartitionedCsr::spmm`] is bit-identical to the
+//!   serial kernel. This is what makes 10^5–10^6-node designs tractable.
 //!
 //! # Examples
 //!
@@ -35,9 +39,11 @@ mod csr;
 mod dense;
 mod error;
 pub mod ops;
+mod partition;
 
 pub use budget::{Budget, Cancel};
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::Matrix;
 pub use error::{Result, TensorError};
+pub use partition::{PartitionPlan, PartitionScratch, PartitionedCsr};

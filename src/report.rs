@@ -9,6 +9,9 @@
 //!   `SELFTEST_OVERLOADED`, `SELFTEST_METRICS`, `SELFTEST_DONE`.
 //! * `METRICS_<EVENT> key=value ...` — metrics-snapshot bookkeeping.
 //!   Existing events: `METRICS_SNAPSHOT` (a snapshot file was written).
+//! * `BENCH_<EVENT> key=value ...` — measurements from `gcnt
+//!   bench-scale`. Existing events: `BENCH_SCALE` (one backend × design
+//!   size sample).
 //!
 //! Grammar, kept deliberately grep/awk-trivial:
 //!
@@ -45,6 +48,13 @@ pub fn selftest(event: &str) -> Line {
 pub fn metrics(event: &str) -> Line {
     Line {
         buf: format!("METRICS_{event}"),
+    }
+}
+
+/// Starts a `BENCH_<event>` line.
+pub fn bench(event: &str) -> Line {
+    Line {
+        buf: format!("BENCH_{event}"),
     }
 }
 
@@ -115,6 +125,10 @@ mod tests {
         assert_eq!(
             metrics("SNAPSHOT").field("path", "m.json").into_string(),
             "METRICS_SNAPSHOT path=m.json"
+        );
+        assert_eq!(
+            bench("SCALE").field("nodes", 1000).into_string(),
+            "BENCH_SCALE nodes=1000"
         );
     }
 
