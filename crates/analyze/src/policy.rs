@@ -23,6 +23,7 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/dft/src/",
     "crates/runtime/src/",
     "crates/store/src/",
+    "crates/net/src/",
 ];
 
 /// Whether the panic policy applies to this file at all.

@@ -35,6 +35,8 @@
 //! | `PG002` | `store-version-unsupported` | error | store metadata format version known |
 //! | `PG003` | `segment-page-missing` | error | segment page refs within committed count |
 //! | `PT001` | `partition-consistency` | error | sharded adjacency invariants and freshness |
+//! | `NT001` | `frame-envelope-broken` | error | wire frame envelope integrity (magic/length-cap/checksum) |
+//! | `NT002` | `frame-version-unsupported` | error | wire frame protocol version known |
 //!
 //! The catalogue is available programmatically via [`registry::RULES`].
 //!
@@ -53,6 +55,9 @@
 //! - [`lint_journal_records`] / [`lint_journal_growth`] — a recovered
 //!   write-ahead journal record stream, validated before a killed flow
 //!   job is replayed, and the journal's size against configured caps.
+//! - [`lint_frame`] — one wire-frame envelope (magic, length cap,
+//!   payload checksum, protocol version), refused by the net layer
+//!   before any payload byte is trusted.
 //! - [`lint_store_pages`] / [`lint_store_segments`] /
 //!   [`lint_store_version`] — paged-store integrity summaries, driven by
 //!   `gcnt store scrub`.
@@ -92,6 +97,7 @@ mod checkpoint_rules;
 mod embedding_rules;
 mod journal_rules;
 mod model_rules;
+mod net_rules;
 mod netlist_rules;
 mod page_rules;
 mod partition_rules;
@@ -103,6 +109,7 @@ pub use journal_rules::{
     lint_journal_growth, lint_journal_records, JournalCaps, JournalRecordMeta,
 };
 pub use model_rules::{lint_gcn, lint_linear, lint_mlp, lint_multistage};
+pub use net_rules::{lint_frame, FrameCaps, FrameMeta};
 pub use netlist_rules::{lint_levels, lint_netlist, lint_netlist_deep, lint_scoap};
 pub use page_rules::{
     lint_store_pages, lint_store_segments, lint_store_version, PageMeta, SegmentMeta,

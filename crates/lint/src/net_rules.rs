@@ -1,0 +1,156 @@
+//! Wire-frame rules: `NT001` envelope integrity, `NT002` protocol
+//! version support.
+//!
+//! The net crate owns the frame *format*; this module only sees a plain
+//! [`FrameMeta`] summary per decoded envelope (mirroring how
+//! [`crate::JournalRecordMeta`] keeps the linter free of serve types), so
+//! any transport consumer can validate a frame before trusting its
+//! payload. A frame that fails here must be *refused*, never decoded:
+//! after a framing error the byte stream cannot be resynchronised.
+
+use crate::report::{LintReport, RuleId};
+
+/// Format-level facts about one wire frame, as observed by whoever
+/// parsed the envelope bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Whether the envelope starts with the protocol magic.
+    pub magic_ok: bool,
+    /// Protocol version the envelope declares.
+    pub version: u32,
+    /// Payload length the envelope declares, in bytes.
+    pub declared_len: u64,
+    /// Checksum stored in the envelope (hex).
+    pub stored_checksum: String,
+    /// Checksum recomputed over the payload bytes (hex); empty when the
+    /// payload was never read (e.g. the declared length already failed).
+    pub computed_checksum: String,
+}
+
+/// Envelope limits the receiver enforces. `supported_version` is the one
+/// protocol version this build speaks; `max_payload_bytes` caps the
+/// declared length so a corrupt or hostile length prefix cannot drive an
+/// unbounded allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameCaps {
+    /// The single protocol version this build accepts.
+    pub supported_version: u32,
+    /// Maximum payload bytes a frame may declare.
+    pub max_payload_bytes: u64,
+}
+
+/// Checks one wire frame: `NT001` fires on a broken envelope (bad magic,
+/// declared length over the cap, or a payload that hashes differently
+/// from the stored checksum), `NT002` fires when the declared protocol
+/// version is not the supported one.
+///
+/// `context` names the connection or capture in the findings. An empty
+/// `computed_checksum` skips the checksum comparison — the caller
+/// refused to read the payload, which an earlier finding explains.
+pub fn lint_frame(context: &str, meta: &FrameMeta, caps: &FrameCaps) -> LintReport {
+    let mut report = LintReport::new();
+    if !meta.magic_ok {
+        report.report(
+            RuleId::FrameEnvelopeBroken,
+            context,
+            "frame does not start with the protocol magic".to_string(),
+        );
+    }
+    if meta.declared_len > caps.max_payload_bytes {
+        report.report(
+            RuleId::FrameEnvelopeBroken,
+            context,
+            format!(
+                "frame declares a {}-byte payload, over the {}-byte cap",
+                meta.declared_len, caps.max_payload_bytes
+            ),
+        );
+    }
+    if !meta.computed_checksum.is_empty() && meta.stored_checksum != meta.computed_checksum {
+        report.report(
+            RuleId::FrameEnvelopeBroken,
+            context,
+            format!(
+                "frame stores checksum {} but its payload hashes to {}",
+                meta.stored_checksum, meta.computed_checksum
+            ),
+        );
+    }
+    if meta.version != caps.supported_version {
+        report.report(
+            RuleId::FrameVersionUnsupported,
+            context,
+            format!(
+                "frame declares protocol version {}, this build speaks {}",
+                meta.version, caps.supported_version
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> FrameCaps {
+        FrameCaps {
+            supported_version: 1,
+            max_payload_bytes: 1024,
+        }
+    }
+
+    fn clean_meta() -> FrameMeta {
+        FrameMeta {
+            magic_ok: true,
+            version: 1,
+            declared_len: 64,
+            stored_checksum: "00000000deadbeef".to_string(),
+            computed_checksum: "00000000deadbeef".to_string(),
+        }
+    }
+
+    #[test]
+    fn clean_frame_yields_empty_report() {
+        assert!(lint_frame("conn", &clean_meta(), &caps()).is_clean());
+    }
+
+    #[test]
+    fn broken_envelope_fires_nt001() {
+        let mut bad_magic = clean_meta();
+        bad_magic.magic_ok = false;
+        let report = lint_frame("conn", &bad_magic, &caps());
+        assert!(report.fired(RuleId::FrameEnvelopeBroken));
+        assert!(report.has_errors());
+        assert_eq!(RuleId::FrameEnvelopeBroken.code(), "NT001");
+
+        let mut over_cap = clean_meta();
+        over_cap.declared_len = 2048;
+        assert!(lint_frame("conn", &over_cap, &caps()).fired(RuleId::FrameEnvelopeBroken));
+
+        let mut corrupt = clean_meta();
+        corrupt.computed_checksum = "0badf00d0badf00d".to_string();
+        assert!(lint_frame("conn", &corrupt, &caps()).fired(RuleId::FrameEnvelopeBroken));
+    }
+
+    #[test]
+    fn unread_payload_skips_checksum_comparison() {
+        let mut meta = clean_meta();
+        meta.declared_len = 4096;
+        meta.computed_checksum = String::new();
+        let report = lint_frame("conn", &meta, &caps());
+        // Only the length-cap finding — no checksum noise for a payload
+        // that was never read.
+        assert_eq!(report.of_rule(RuleId::FrameEnvelopeBroken).count(), 1);
+    }
+
+    #[test]
+    fn wrong_version_fires_nt002() {
+        let mut meta = clean_meta();
+        meta.version = 9;
+        let report = lint_frame("conn", &meta, &caps());
+        assert!(report.fired(RuleId::FrameVersionUnsupported));
+        assert!(!report.fired(RuleId::FrameEnvelopeBroken));
+        assert_eq!(RuleId::FrameVersionUnsupported.code(), "NT002");
+    }
+}

@@ -176,6 +176,20 @@ pub const RULES: &[RuleDescriptor] = &[
         severity: Severity::Error,
         summary: "partitioned adjacency violates sharding invariants or lags its graph",
     },
+    RuleDescriptor {
+        id: RuleId::FrameEnvelopeBroken,
+        code: "NT001",
+        slug: "frame-envelope-broken",
+        severity: Severity::Error,
+        summary: "wire frame envelope malformed (magic/length-cap/checksum)",
+    },
+    RuleDescriptor {
+        id: RuleId::FrameVersionUnsupported,
+        code: "NT002",
+        slug: "frame-version-unsupported",
+        severity: Severity::Error,
+        summary: "wire frame declares an unsupported protocol version",
+    },
 ];
 
 /// Looks up the descriptor of a rule.
@@ -211,6 +225,7 @@ mod tests {
         assert!(RULES.iter().any(|r| r.code.starts_with("JN")));
         assert!(RULES.iter().any(|r| r.code.starts_with("PG")));
         assert!(RULES.iter().any(|r| r.code.starts_with("PT")));
-        assert_eq!(RULES.len(), 22);
+        assert!(RULES.iter().any(|r| r.code.starts_with("NT")));
+        assert_eq!(RULES.len(), 24);
     }
 }

@@ -103,6 +103,13 @@ pub enum RuleId {
     /// indptr, column index outside its block and halo, unsorted halo
     /// table) or was built at a different graph generation/size.
     PartitionConsistency,
+    /// `NT001 frame-envelope-broken`: a wire frame's envelope is
+    /// malformed — bad magic, a declared payload length over the cap, or
+    /// a payload whose checksum disagrees with the stored one.
+    FrameEnvelopeBroken,
+    /// `NT002 frame-version-unsupported`: a wire frame declares a
+    /// protocol version this build does not speak.
+    FrameVersionUnsupported,
 }
 
 impl RuleId {

@@ -272,6 +272,32 @@ declare_counters! {
     MLBASE_FITS => "gcnt_mlbase_fits_total",
         "Classical baseline model fits";
 
+    // --- net: the TCP/loopback wire protocol and shard router ---
+    /// Connections accepted by the net server (plus loopback pairs).
+    NET_CONNECTIONS_OPENED => "gcnt_net_connections_opened_total",
+        "Network connections accepted by the serving layer";
+    /// Frames written to any connection (both directions of a loopback).
+    NET_FRAMES_SENT => "gcnt_net_frames_sent_total",
+        "Wire frames written to connections";
+    /// Frames read and verified from any connection.
+    NET_FRAMES_RECV => "gcnt_net_frames_recv_total",
+        "Wire frames read and checksum-verified from connections";
+    /// Frames refused for a broken envelope (`NT001`): bad magic,
+    /// length over the cap, or a payload checksum mismatch.
+    NET_FRAME_CHECKSUM_FAILURES => "gcnt_net_frame_checksum_failures_total",
+        "Wire frames refused for a broken envelope (NT001)";
+    /// Connections evicted because a frame stalled past the read
+    /// deadline with bytes still outstanding.
+    NET_SLOW_LORIS_EVICTIONS => "gcnt_net_slow_loris_evictions_total",
+        "Connections evicted for trickling a frame past the read deadline";
+    /// Typed protocol error frames written (Overloaded, Deadline, ...).
+    NET_ERROR_FRAMES_SENT => "gcnt_net_error_frames_sent_total",
+        "Typed protocol error frames written to clients";
+    /// Client-side retries: reconnects and resubmitted requests after
+    /// transient failures or retryable error frames.
+    NET_CLIENT_RETRIES => "gcnt_net_client_retries_total",
+        "Client reconnects and request retries after transient failures";
+
     // --- store: the crash-safe page store ---
     /// Pages read from the data file (cache misses; hits cost nothing).
     STORE_PAGE_READS => "gcnt_store_page_reads_total",
@@ -324,6 +350,18 @@ declare_gauges! {
     /// Partitions in the most recently built partitioned adjacency.
     TENSOR_PARTITIONS_ACTIVE => "gcnt_tensor_partitions_active",
         "Partitions in the most recently built partitioned adjacency";
+    /// Currently open network connections.
+    NET_CONNECTIONS_OPEN => "gcnt_net_connections_open",
+        "Currently open network connections";
+    /// High-water mark of simultaneously open network connections.
+    NET_CONNECTIONS_PEAK => "gcnt_net_connections_peak",
+        "High-water mark of simultaneously open network connections";
+    /// Shards the router currently fans requests across.
+    NET_SHARDS_ACTIVE => "gcnt_net_shards_active",
+        "Shards the router fans requests across";
+    /// High-water mark of any single shard's admission-queue depth.
+    NET_SHARD_QUEUE_DEPTH_PEAK => "gcnt_net_shard_queue_depth_peak",
+        "High-water mark of per-shard admission-queue depth";
 }
 
 declare_histograms! {
@@ -351,6 +389,13 @@ declare_histograms! {
     /// Wall-clock latency of one partition worker's SpMM block.
     TENSOR_PARTITION_SPMM_NS => "gcnt_tensor_partition_spmm_ns",
         "Per-partition SpMM worker latency (ns)", NS_BUCKETS;
+    /// Client-observed wall-clock latency per network request
+    /// (loadgen's p50/p99/p999 source).
+    NET_REQUEST_NS => "gcnt_net_request_latency_ns",
+        "Client-observed network request latency (ns)", NS_BUCKETS;
+    /// Encoded size of written wire frames.
+    NET_FRAME_BYTES => "gcnt_net_frame_bytes",
+        "Encoded bytes per written wire frame", ROW_BUCKETS;
 }
 
 /// Number of counters in the catalog.

@@ -36,6 +36,35 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q` in `[0, 1]`, resolved to a bucket
+    /// upper bound: the smallest declared bound whose cumulative count
+    /// reaches `ceil(q * count)`. Observations that landed in the `+Inf`
+    /// bucket resolve to the largest declared bound + 1 (a sentinel that
+    /// still orders correctly against in-range values). Returns 0 for an
+    /// empty histogram.
+    ///
+    /// This is the only quantile path available to callers: per-bucket
+    /// counts are not exposed by the live registry, so latency reports
+    /// (e.g. `gcnt loadgen`'s p50/p99/p999) go through a snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // CAST: q*count <= count <= u64::MAX; ceil keeps rank >= 1 for q > 0.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.counts.get(i).copied().unwrap_or(0);
+            if cumulative >= rank {
+                return *bound;
+            }
+        }
+        self.bounds.last().map_or(1, |b| b.saturating_add(1))
+    }
+}
+
 impl Snapshot {
     /// Captures the current state of `registry`. Concurrent writers may
     /// land between individual loads; each metric is itself consistent.
@@ -277,6 +306,34 @@ mod tests {
         assert!(text.contains("gcnt_serve_journal_fsync_ns_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("gcnt_serve_journal_fsync_ns_count 2"));
         assert!(text.contains("# TYPE gcnt_serve_journal_fsync_ns histogram"));
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let r = MetricsRegistry::new();
+        r.enable();
+        // SERVE_JOURNAL_FSYNC_NS uses NS_BUCKETS starting 1000, 4000, ...
+        for _ in 0..98 {
+            r.observe(histograms::SERVE_JOURNAL_FSYNC_NS, 500); // le=1000
+        }
+        r.observe(histograms::SERVE_JOURNAL_FSYNC_NS, 3_000); // le=4000
+        r.observe(histograms::SERVE_JOURNAL_FSYNC_NS, u64::MAX); // +Inf
+        let snap = Snapshot::capture(&r);
+        let h = snap
+            .histogram("gcnt_serve_journal_fsync_ns")
+            .expect("catalog histogram");
+        assert_eq!(h.quantile(0.5), 1000);
+        assert_eq!(h.quantile(0.98), 1000);
+        assert_eq!(h.quantile(0.99), 4000);
+        assert!(h.quantile(1.0) > 4000, "tail lands past the last bound hit");
+        let empty = HistogramSnapshot {
+            name: "x",
+            bounds: &[10, 20],
+            counts: vec![0, 0, 0],
+            sum: 0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile(0.99), 0);
     }
 
     #[test]

@@ -20,6 +20,17 @@
 //! * **kill after journal record** — the process aborts right after the
 //!   Nth write-ahead record reaches disk, between two batches of a flow
 //!   job, for crash-resume testing.
+//!
+//! And *network* faults for the TCP serving layer (`gcnt-net`):
+//!
+//! * **disconnect-after-frame(N)** — the server severs a connection once
+//!   N frames were written on it, losing an in-flight reply;
+//! * **slow-loris(bytes/s)** — the client trickles one request frame so
+//!   the server's read deadline must evict it;
+//! * **corrupt-frame-checksum** — one client frame goes out with a broken
+//!   checksum the receiver must refuse (`NT001`);
+//! * **connect-refused(count)** — the client's first N connect attempts
+//!   fail, exercising retry-with-backoff.
 
 /// A plan of faults to inject into a training run or a serving process.
 /// With the `fault-inject` feature disabled this is always the empty
@@ -42,6 +53,14 @@ pub struct FaultPlan {
     store_disk_full_after: Option<u64>,
     #[cfg(feature = "fault-inject")]
     kill_mid_compaction: bool,
+    #[cfg(feature = "fault-inject")]
+    net_disconnect_after_frames: Option<u64>,
+    #[cfg(feature = "fault-inject")]
+    net_slow_loris_bytes_per_s: Option<u64>,
+    #[cfg(feature = "fault-inject")]
+    net_corrupt_frame_checksum: Option<u64>,
+    #[cfg(feature = "fault-inject")]
+    net_connect_refused: Option<u64>,
 }
 
 impl FaultPlan {
@@ -230,12 +249,117 @@ impl FaultPlan {
         }
     }
 
+    /// Severs a network connection once this many frames have been
+    /// written on it — the serving side drops the socket instead of
+    /// writing the next frame, so a reply the client is waiting for is
+    /// lost mid-job. One-shot at the consumer: the net server disarms the
+    /// fault after the first severed connection, so the client's
+    /// reconnect-and-resume path can be asserted deterministically.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_net_disconnect_after_frames(mut self, frames: u64) -> Self {
+        self.net_disconnect_after_frames = Some(frames);
+        self
+    }
+
+    /// Trickles the bytes of the client's next request frame at the given
+    /// rate instead of writing them at once — a deterministic slow-loris
+    /// client the server must evict on its per-connection read deadline.
+    /// One-shot: the retry after the eviction writes at full speed.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_net_slow_loris(mut self, bytes_per_s: u64) -> Self {
+        self.net_slow_loris_bytes_per_s = Some(bytes_per_s.max(1));
+        self
+    }
+
+    /// Corrupts the checksum of the client's Nth written frame (0-based,
+    /// counted per client across reconnects), so the receiver must refuse
+    /// the frame (`NT001`) instead of decoding a torn payload. One-shot.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_net_corrupt_frame_checksum(mut self, frame_index: u64) -> Self {
+        self.net_corrupt_frame_checksum = Some(frame_index);
+        self
+    }
+
+    /// Fails the client's first `count` connect attempts with a simulated
+    /// connection-refused error, exercising retry-with-backoff.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_net_connect_refused(mut self, count: u64) -> Self {
+        self.net_connect_refused = Some(count);
+        self
+    }
+
+    /// Net serving hook: how many written frames a connection survives
+    /// before the injected disconnect severs it (`None` = no fault).
+    pub fn net_disconnect_after_frames(&self) -> Option<u64> {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.net_disconnect_after_frames
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            None
+        }
+    }
+
+    /// Net client hook: the trickle rate for the next frame write, if the
+    /// slow-loris fault is armed. One-shot — consuming it disarms it.
+    pub fn take_net_slow_loris(&mut self) -> Option<u64> {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.net_slow_loris_bytes_per_s.take()
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            None
+        }
+    }
+
+    /// Net client hook: whether the frame with this write index should go
+    /// out with a corrupted checksum. One-shot — the retry after the
+    /// refusal writes a clean frame.
+    pub fn take_net_corrupt_checksum(&mut self, frame_index: u64) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            if self.net_corrupt_frame_checksum == Some(frame_index) {
+                self.net_corrupt_frame_checksum = None;
+                return true;
+            }
+            false
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = frame_index;
+            false
+        }
+    }
+
+    /// Net client hook: whether this connect attempt should fail with a
+    /// simulated refusal. Decrements the remaining-refusals budget.
+    pub fn take_net_connect_refused(&mut self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            match self.net_connect_refused {
+                Some(0) | None => false,
+                Some(n) => {
+                    self.net_connect_refused = Some(n - 1);
+                    true
+                }
+            }
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            false
+        }
+    }
+
     /// Parses a plan from JSON, e.g.
     /// `{"latency_multiplier": 10, "kill_after_record": 1}`. Recognised
     /// keys: `nan_grad_epoch`, `kill_worker` (`[epoch, worker]`),
     /// `latency_multiplier`, `queue_saturation` (bool),
     /// `cache_poison_request`, `kill_after_record`,
-    /// `store_disk_full_after`, `kill_mid_compaction` (bool). Unknown keys
+    /// `store_disk_full_after`, `kill_mid_compaction` (bool),
+    /// `net_disconnect_after_frames`, `net_slow_loris_bytes_per_s`,
+    /// `net_corrupt_frame_checksum`, `net_connect_refused`. Unknown keys
     /// are rejected so a typo cannot silently disable a planned fault.
     ///
     /// Only available with the `fault-inject` feature: a production build
@@ -291,6 +415,16 @@ impl FaultPlan {
                     Value::Bool(b) => plan.kill_mid_compaction = *b,
                     _ => return Err("`kill_mid_compaction` must be a boolean".to_string()),
                 },
+                "net_disconnect_after_frames" => {
+                    plan.net_disconnect_after_frames = Some(as_u64(v, key)?);
+                }
+                "net_slow_loris_bytes_per_s" => {
+                    plan.net_slow_loris_bytes_per_s = Some(as_u64(v, key)?.max(1));
+                }
+                "net_corrupt_frame_checksum" => {
+                    plan.net_corrupt_frame_checksum = Some(as_u64(v, key)?);
+                }
+                "net_connect_refused" => plan.net_connect_refused = Some(as_u64(v, key)?),
                 other => return Err(format!("unknown fault plan field `{other}`")),
             }
         }
@@ -337,6 +471,10 @@ mod tests {
         assert!(!plan.should_kill_after_record(0));
         assert_eq!(plan.store_disk_full_after(), None);
         assert!(!plan.should_kill_mid_compaction());
+        assert_eq!(plan.net_disconnect_after_frames(), None);
+        assert_eq!(plan.take_net_slow_loris(), None);
+        assert!(!plan.take_net_corrupt_checksum(0));
+        assert!(!plan.take_net_connect_refused());
         let gcn = gcnt_core::Gcn::new(
             &gcnt_core::GcnConfig {
                 embed_dims: vec![2],
@@ -401,6 +539,38 @@ mod tests {
 
     #[cfg(feature = "fault-inject")]
     #[test]
+    fn network_faults_fire_deterministically() {
+        let mut plan = FaultPlan::none()
+            .with_net_disconnect_after_frames(3)
+            .with_net_slow_loris(20)
+            .with_net_corrupt_frame_checksum(1)
+            .with_net_connect_refused(2);
+        assert_eq!(plan.net_disconnect_after_frames(), Some(3));
+        assert_eq!(plan.take_net_slow_loris(), Some(20));
+        assert_eq!(plan.take_net_slow_loris(), None, "slow loris is one-shot");
+        assert!(!plan.take_net_corrupt_checksum(0));
+        assert!(plan.take_net_corrupt_checksum(1));
+        assert!(
+            !plan.take_net_corrupt_checksum(1),
+            "checksum corruption is one-shot"
+        );
+        assert!(plan.take_net_connect_refused());
+        assert!(plan.take_net_connect_refused());
+        assert!(
+            !plan.take_net_connect_refused(),
+            "refusal budget is exhausted"
+        );
+        // A zero trickle rate clamps to one byte per second.
+        assert_eq!(
+            FaultPlan::none()
+                .with_net_slow_loris(0)
+                .take_net_slow_loris(),
+            Some(1)
+        );
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
     fn plan_parses_from_json() {
         let plan = FaultPlan::from_json(
             r#"{"latency_multiplier": 10, "queue_saturation": true,
@@ -424,6 +594,16 @@ mod tests {
         assert!(FaultPlan::none()
             .with_kill_mid_compaction()
             .should_kill_mid_compaction());
+
+        let mut net_plan = FaultPlan::from_json(
+            r#"{"net_disconnect_after_frames": 2, "net_slow_loris_bytes_per_s": 16,
+                "net_corrupt_frame_checksum": 0, "net_connect_refused": 3}"#,
+        )
+        .unwrap();
+        assert_eq!(net_plan.net_disconnect_after_frames(), Some(2));
+        assert_eq!(net_plan.take_net_slow_loris(), Some(16));
+        assert!(net_plan.take_net_corrupt_checksum(0));
+        assert!(net_plan.take_net_connect_refused());
 
         assert_eq!(FaultPlan::from_json("{}").unwrap().latency_multiplier(), 1);
         assert!(FaultPlan::from_json(r#"{"typo_field": 1}"#).is_err());

@@ -79,6 +79,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         "lint" => cmd_lint(&positional, &options),
         "analyze" => cmd_analyze(&options),
         "serve" => cmd_serve(&options),
+        "netserve" => cmd_netserve(&options),
+        "loadgen" => cmd_loadgen(&options),
         "store" => cmd_store(&positional, &options),
         "checkpoints" => cmd_checkpoints(&positional),
         "help" | "--help" | "-h" => {
@@ -114,6 +116,11 @@ fn print_usage() {
          \x20 gcnt serve --self-test [--journal-dir DIR] [--requests N] [--deadline ROWS]\n\
          \x20\x20\x20\x20 [--store-dir DIR] [--compact-after N]\n\
          \x20\x20\x20\x20 [--faults plan.json] [--metrics-out m.json] [--metrics-every N]\n\
+         \x20 gcnt netserve [--addr HOST:PORT] [--shards N] [--journal-dir DIR]\n\
+         \x20\x20\x20\x20 [--faults plan.json] [--metrics-out m.json]\n\
+         \x20 gcnt loadgen [--addr HOST:PORT] [--sessions N] [--workers N] [--shards N]\n\
+         \x20\x20\x20\x20 [--flow-jobs N] [--journal-dir DIR] [--faults plan.json]\n\
+         \x20\x20\x20\x20 [--metrics-out m.json]\n\
          \x20 gcnt store stat|scrub|compact DIR [--format text|json]\n\
          \x20 gcnt checkpoints DIR\n\
          \n\
@@ -627,9 +634,8 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         return Err("gcnt serve currently supports --self-test only (see README)".into());
     }
     // Snapshot cadence: every N admitted requests, plus once at shutdown.
-    // (Signal handling needs libc, which this workspace deliberately
-    // avoids; a service wrapper that wants SIGTERM snapshots sends the
-    // process a clean shutdown instead.)
+    // (For SIGTERM-triggered graceful drain, use `gcnt netserve`, which
+    // installs a handler and drains the shard router before exiting.)
     let metrics_path = metrics_out(options);
     let metrics_every = opt_usize(options, "metrics-every", 0) as u64;
     let plan = match options.get("faults") {
@@ -750,6 +756,11 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     }
     let core = handle.shutdown()?;
 
+    // Network drill: the same serving semantics over the wire protocol
+    // and the in-process loopback transport — handshake, deterministic
+    // inference, bit-identical journaled flow resume, typed refusals.
+    run_net_selftest(&journal_dir)?;
+
     // One stable machine-readable digest of the run's own metrics: the
     // schema-snapshot CI step asserts on these fields, and a human gets
     // the reuse story without opening the snapshot file.
@@ -777,6 +788,353 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     // the ladder work above are all in it.
     if let Some(metrics) = metrics_path {
         report::write_metrics_snapshot(&metrics)?;
+    }
+    Ok(())
+}
+
+/// The deterministic network-serving fixture: the same synthetic design
+/// and the same seeded (untrained) cascade on every shard of every
+/// process — so `netserve`, `loadgen`, and the `SELFTEST_NET` drill all
+/// agree on outcome checksums across separate runs and machines.
+fn net_fixture_cores(
+    shards: usize,
+) -> Result<(Netlist, Vec<gcn_testability::serve::ServeCore>), Box<dyn Error>> {
+    use gcn_testability::gcn::{features::raw_features_of, Gcn, GcnConfig};
+    use gcn_testability::serve::{ServeConfig, ServeCore};
+
+    let net = generate(&GeneratorConfig::sized("netfixture", 7, 400));
+    let gcn_cfg = GcnConfig {
+        embed_dims: vec![8, 8],
+        fc_dims: vec![8],
+        ..GcnConfig::default()
+    };
+    let raw = raw_features_of(&net)?;
+    let cores = (0..shards)
+        .map(|_| {
+            let stages = vec![
+                Gcn::new(&gcn_cfg, &mut gcn_testability::nn::seeded_rng(41)),
+                Gcn::new(&gcn_cfg, &mut gcn_testability::nn::seeded_rng(42)),
+            ];
+            ServeCore::new(
+                FeatureNormalizer::fit(&[&raw]),
+                MultiStageGcn::from_stages(stages, 0.5),
+                ServeConfig::default(),
+            )
+        })
+        .collect();
+    Ok((net, cores))
+}
+
+/// The `SELFTEST_NET` drill: a 2-shard server over the in-process
+/// loopback transport, exercised end to end by the real client —
+/// handshake, deterministic inference, bit-identical journaled flow
+/// resume, and a typed refusal for a malformed design.
+fn run_net_selftest(journal_dir: &str) -> Result<(), Box<dyn Error>> {
+    use gcn_testability::net::{
+        local_transport, serve as net_serve, ClientConfig, Dialer, ErrorCode, FlowRequest,
+        NetClient, NetError, NetServerConfig, ShardRouter,
+    };
+    use gcn_testability::runtime::FaultPlan;
+
+    let (design, cores) = net_fixture_cores(2)?;
+    let dir = std::path::Path::new(journal_dir).join("net-selftest");
+    let router = ShardRouter::start(cores, &dir)?;
+    let (listener, dialer) = local_transport();
+    let server = std::thread::spawn(move || {
+        net_serve(
+            listener,
+            router,
+            NetServerConfig::default(),
+            &FaultPlan::none(),
+        )
+    });
+
+    let mut client = NetClient::connect(Dialer::Local(dialer), ClientConfig::default())?;
+    let text = format::write(&design);
+    let a = client.infer(&text, 0)?;
+    let b = client.infer(&text, 0)?;
+    let deterministic = a.probs_checksum == b.probs_checksum && a.shard == b.shard;
+    let req = FlowRequest {
+        design: text,
+        job_id: "net-selftest".to_string(),
+        max_iterations: 2,
+        ops_per_iteration: 1,
+        prob_threshold_milli: 50,
+        deadline_rows: 0,
+    };
+    let f1 = client.flow(&req)?;
+    let f2 = client.flow(&req)?;
+    let bit_identical = f1.outcome_checksum == f2.outcome_checksum;
+    let typed_refusal = matches!(
+        client.infer("this is not a netlist", 0),
+        Err(NetError::Server {
+            code: ErrorCode::BadRequest,
+            ..
+        })
+    );
+    client.drain()?;
+    drop(client);
+    let (summary, _cores) = server
+        .join()
+        .map_err(|_| "net self-test server thread panicked")??;
+
+    report::selftest("NET")
+        .field("shards", 2)
+        .field("deterministic", deterministic)
+        .field("probs_checksum", &a.probs_checksum)
+        .field("flow_checksum", &f1.outcome_checksum)
+        .field("flow_resumed", f2.resumed_batches)
+        .field("bit_identical_resume", bit_identical)
+        .field("typed_refusal", typed_refusal)
+        .field("frames", summary.frames_received)
+        .field("refusals", summary.refusals)
+        .emit();
+    if !deterministic || !bit_identical || !typed_refusal {
+        return Err("net self-test failed (see SELFTEST_NET line)".into());
+    }
+    Ok(())
+}
+
+/// `gcnt netserve`: the fixture server over real TCP. Emits `NET_READY`
+/// once the listener is bound, installs a SIGTERM handler, and serves
+/// until a drain is requested (SIGTERM or a client `Drain` frame) —
+/// then finishes or journals in-flight jobs, emits `NET_DRAIN` with the
+/// lifetime summary, and exits cleanly.
+fn cmd_netserve(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    use gcn_testability::net::{
+        install_term_handler, serve as net_serve, Listener, NetServerConfig, ShardRouter,
+    };
+    use gcn_testability::runtime::FaultPlan;
+
+    let metrics_path = metrics_out(options);
+    let plan = match options.get("faults") {
+        Some(path) => load_fault_plan(path)?,
+        None => FaultPlan::none(),
+    };
+    let shards = opt_usize(options, "shards", 2).max(1);
+    let addr = options
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let journal_dir = options
+        .get("journal-dir")
+        .cloned()
+        .unwrap_or_else(|| "netserve-journals".to_string());
+
+    let (_design, cores) = net_fixture_cores(shards)?;
+    let router = ShardRouter::start(cores, journal_dir.as_ref())?;
+    let listener = Listener::bind_tcp(addr)?;
+    let actual = listener
+        .local_addr()
+        .map_or_else(|| addr.to_string(), |a| a.to_string());
+    install_term_handler();
+    report::net("READY")
+        .field("addr", &actual)
+        .field("shards", shards)
+        .field("pid", std::process::id())
+        .emit();
+
+    let (summary, _cores) = net_serve(listener, router, NetServerConfig::default(), &plan)?;
+    report::net("DRAIN")
+        .field("connections", summary.connections)
+        .field("frames", summary.frames_received)
+        .field("jobs", summary.jobs_completed)
+        .field("refusals", summary.refusals)
+        .field("evictions", summary.slow_loris_evictions)
+        .field("pending_at_drain", summary.pending_at_drain)
+        .emit();
+    if let Some(metrics) = metrics_path {
+        report::write_metrics_snapshot(&metrics)?;
+    }
+    Ok(())
+}
+
+/// `gcnt loadgen`: drives many concurrent client sessions against a
+/// server — an external one (`--addr`, e.g. a backgrounded `gcnt
+/// netserve`) or an in-process fixture server it spins up itself. The
+/// first `--flow-jobs` sessions run journaled flow jobs and emit one
+/// `LOADGEN_FLOW` line each (checksums are the bit-identity handle for
+/// the CI fault matrix); the rest run inference. With `--faults`,
+/// session 0 carries the client-side fault plan and the in-process
+/// server gets the server-side hooks, so every network fault scenario
+/// is reproducible from one JSON file. Ends with `LOADGEN_DONE`
+/// carrying error counts and p50/p99/p999 request latency from the
+/// `gcnt_net_request_latency_ns` histogram; any *untyped* failure
+/// (hang, wrong payload, exhausted retries) makes the exit nonzero.
+fn cmd_loadgen(options: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    use gcn_testability::net::{
+        serve as net_serve, ClientConfig, Dialer, FlowRequest, Listener, NetClient, NetError,
+        NetServerConfig, ShardRouter,
+    };
+    use gcn_testability::obs::Snapshot;
+    use gcn_testability::runtime::FaultPlan;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    // Quantiles come from the global histogram, so the registry must be
+    // live before the first request regardless of --metrics-out.
+    gcn_testability::obs::global().enable();
+    let metrics_path = metrics_out(options);
+    let plan = match options.get("faults") {
+        Some(path) => load_fault_plan(path)?,
+        None => FaultPlan::none(),
+    };
+    let sessions = opt_usize(options, "sessions", 100).max(1);
+    let workers = opt_usize(options, "workers", 8).clamp(1, 64);
+    let flow_jobs = opt_usize(options, "flow-jobs", 2).min(sessions);
+    let shards = opt_usize(options, "shards", 4).max(1);
+
+    // An in-process server is spun up unless --addr points elsewhere.
+    let (addr, server) = match options.get("addr") {
+        Some(a) => (a.clone(), None),
+        None => {
+            let journal_dir = options.get("journal-dir").cloned().unwrap_or_else(|| {
+                std::env::temp_dir()
+                    .join(format!("gcnt-loadgen-{}", std::process::id()))
+                    .display()
+                    .to_string()
+            });
+            let (_design, cores) = net_fixture_cores(shards)?;
+            let router = ShardRouter::start(cores, journal_dir.as_ref())?;
+            let listener = Listener::bind_tcp("127.0.0.1:0")?;
+            let actual = listener
+                .local_addr()
+                .ok_or("in-process listener has no local address")?
+                .to_string();
+            let server_plan = plan.clone();
+            let handle = std::thread::spawn(move || {
+                net_serve(listener, router, NetServerConfig::default(), &server_plan)
+            });
+            (actual, Some(handle))
+        }
+    };
+
+    // A small pool of deterministic design variants spreads sessions
+    // across shards (routing hashes the design text).
+    let variants: Arc<Vec<String>> = Arc::new(
+        (0..8u64)
+            .map(|k| format::write(&generate(&GeneratorConfig::sized("netfixture", 7 + k, 400))))
+            .collect(),
+    );
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let ok = Arc::new(AtomicU64::new(0));
+    let typed = Arc::new(AtomicU64::new(0));
+    let transport = Arc::new(AtomicU64::new(0));
+    let mut pool = Vec::new();
+    for _ in 0..workers {
+        let next = Arc::clone(&next);
+        let ok = Arc::clone(&ok);
+        let typed = Arc::clone(&typed);
+        let transport = Arc::clone(&transport);
+        let variants = Arc::clone(&variants);
+        let addr = addr.clone();
+        let plan = plan.clone();
+        pool.push(std::thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= sessions {
+                break;
+            }
+            // Session 0 carries the client-side fault plan; the rest
+            // run clean so the run's tail is a pure throughput measure.
+            let session_plan = if i == 0 {
+                plan.clone()
+            } else {
+                FaultPlan::none()
+            };
+            let started = std::time::Instant::now();
+            let outcome = (|| -> Result<(), NetError> {
+                // A load client is deliberately saturating the server, so
+                // it rides out Overloaded refusals with a deeper retry
+                // budget than the interactive default.
+                let config = ClientConfig {
+                    request_retries: 8,
+                    ..ClientConfig::default()
+                };
+                let mut client = NetClient::connect_with_faults(
+                    Dialer::Tcp(addr.clone()),
+                    config,
+                    session_plan,
+                )?;
+                let design = variants
+                    .get(i % variants.len())
+                    .ok_or_else(|| NetError::Protocol("variant pool is empty".to_string()))?;
+                if i < flow_jobs {
+                    let reply = client.flow(&FlowRequest {
+                        design: design.clone(),
+                        job_id: format!("load-{i}"),
+                        max_iterations: 2,
+                        ops_per_iteration: 1,
+                        prob_threshold_milli: 50,
+                        deadline_rows: 0,
+                    })?;
+                    report::loadgen("FLOW")
+                        .field("job", format_args!("load-{i}"))
+                        .field("shard", reply.shard)
+                        .field("resumed", reply.resumed_batches)
+                        .field("checksum", &reply.outcome_checksum)
+                        .emit();
+                } else {
+                    let reply = client.infer(design, 0)?;
+                    if reply.probs_len == 0 {
+                        return Err(NetError::Protocol("empty inference reply".to_string()));
+                    }
+                }
+                Ok(())
+            })();
+            let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            gcn_testability::obs::global()
+                .observe(gcn_testability::obs::histograms::NET_REQUEST_NS, elapsed);
+            match outcome {
+                Ok(()) => ok.fetch_add(1, Ordering::Relaxed),
+                Err(NetError::Server { .. }) => typed.fetch_add(1, Ordering::Relaxed),
+                Err(_) => transport.fetch_add(1, Ordering::Relaxed),
+            };
+        }));
+    }
+    for worker in pool {
+        worker
+            .join()
+            .map_err(|_| "a loadgen worker thread panicked")?;
+    }
+
+    // Drain the in-process server so its jobs_completed is final.
+    if let Some(handle) = server {
+        let mut closer = NetClient::connect(Dialer::Tcp(addr), ClientConfig::default())?;
+        closer.drain()?;
+        drop(closer);
+        let (summary, _cores) = handle
+            .join()
+            .map_err(|_| "loadgen server thread panicked")??;
+        report::net("DRAIN")
+            .field("connections", summary.connections)
+            .field("frames", summary.frames_received)
+            .field("jobs", summary.jobs_completed)
+            .field("refusals", summary.refusals)
+            .field("evictions", summary.slow_loris_evictions)
+            .field("pending_at_drain", summary.pending_at_drain)
+            .emit();
+    }
+
+    let snap = Snapshot::capture(gcn_testability::obs::global());
+    let latency = snap.histogram("gcnt_net_request_latency_ns");
+    let quantile = |q: f64| latency.map_or(0, |h| h.quantile(q));
+    let transport_errors = transport.load(Ordering::Relaxed);
+    report::loadgen("DONE")
+        .field("sessions", sessions)
+        .field("ok", ok.load(Ordering::Relaxed))
+        .field("typed_refusals", typed.load(Ordering::Relaxed))
+        .field("transport_errors", transport_errors)
+        .field("flows", flow_jobs)
+        .field("p50_ns", quantile(0.5))
+        .field("p99_ns", quantile(0.99))
+        .field("p999_ns", quantile(0.999))
+        .emit();
+    if let Some(metrics) = metrics_path {
+        report::write_metrics_snapshot(&metrics)?;
+    }
+    if transport_errors > 0 {
+        return Err(format!("{transport_errors} session(s) failed without a typed refusal").into());
     }
     Ok(())
 }

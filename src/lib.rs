@@ -25,6 +25,7 @@
 //! | [`runtime`] | resilience: checksummed checkpoint/resume, divergence guards, fault injection |
 //! | [`store`] | crash-safe paged design/embedding store: checksummed fixed-size pages, bounded cache, scrub/compact, quarantine |
 //! | [`serve`] | long-lived service: bounded admission, deadlines, degradation ladder, write-ahead journaled flow jobs with store-backed compaction and warm restart |
+//! | [`net`] | fault-hardened TCP serving: checksummed wire protocol, shard router across serve cores, graceful drain, network fault matrix |
 //! | [`obs`] | observability: global metrics registry, counters/gauges/histograms, JSON + Prometheus snapshots |
 //! | [`report`] | machine-readable CLI line convention (`SELFTEST_*`, `METRICS_*`) |
 //!
@@ -56,6 +57,7 @@ pub use gcnt_core as gcn;
 pub use gcnt_dft as dft;
 pub use gcnt_lint as lint;
 pub use gcnt_mlbase as mlbase;
+pub use gcnt_net as net;
 pub use gcnt_netlist as netlist;
 pub use gcnt_nn as nn;
 pub use gcnt_obs as obs;

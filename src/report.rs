@@ -12,6 +12,13 @@
 //! * `BENCH_<EVENT> key=value ...` — measurements from `gcnt
 //!   bench-scale`. Existing events: `BENCH_SCALE` (one backend × design
 //!   size sample).
+//! * `NET_<EVENT> key=value ...` — lifecycle of `gcnt netserve` and the
+//!   `SELFTEST_NET` drill. Existing events: `NET_READY` (the listener is
+//!   bound and accepting), `NET_DRAIN` (graceful drain finished, with
+//!   the lifetime summary).
+//! * `LOADGEN_<EVENT> key=value ...` — results from `gcnt loadgen`.
+//!   Existing events: `LOADGEN_FLOW` (one flow job's outcome checksum),
+//!   `LOADGEN_DONE` (session/error totals and latency quantiles).
 //!
 //! Grammar, kept deliberately grep/awk-trivial:
 //!
@@ -55,6 +62,20 @@ pub fn metrics(event: &str) -> Line {
 pub fn bench(event: &str) -> Line {
     Line {
         buf: format!("BENCH_{event}"),
+    }
+}
+
+/// Starts a `NET_<event>` line.
+pub fn net(event: &str) -> Line {
+    Line {
+        buf: format!("NET_{event}"),
+    }
+}
+
+/// Starts a `LOADGEN_<event>` line.
+pub fn loadgen(event: &str) -> Line {
+    Line {
+        buf: format!("LOADGEN_{event}"),
     }
 }
 
@@ -129,6 +150,14 @@ mod tests {
         assert_eq!(
             bench("SCALE").field("nodes", 1000).into_string(),
             "BENCH_SCALE nodes=1000"
+        );
+        assert_eq!(
+            net("READY").field("addr", "127.0.0.1:7421").into_string(),
+            "NET_READY addr=127.0.0.1:7421"
+        );
+        assert_eq!(
+            loadgen("DONE").field("sessions", 1000).into_string(),
+            "LOADGEN_DONE sessions=1000"
         );
     }
 
