@@ -129,6 +129,14 @@ fn check_metrics_keys(a: &Artifacts, findings: &mut Vec<Finding>) {
 /// `SA602`: every baseline entry must correspond to a bench the suites
 /// can produce, and every literal bench in a *gated* group (one present
 /// in the baseline) must be gated by a baseline entry.
+///
+/// Covers both `bench_function("name", ..)` (id `group/name`) and
+/// `bench_with_input(BenchmarkId::new("name", param), ..)` (id
+/// `group/name/param` — a literal *prefix*, since the param half is a
+/// runtime value). A group whose `bench_with_input` calls outnumber its
+/// literal `BenchmarkId::new("...")` ids has a dynamically named bench
+/// and is exempt from per-name coverage, exactly like a dynamic
+/// `bench_function` name.
 fn check_bench_baseline(a: &Artifacts, findings: &mut Vec<Finding>) {
     let Some(baseline) = &a.bench_baseline else {
         missing(
@@ -151,8 +159,15 @@ fn check_bench_baseline(a: &Artifacts, findings: &mut Vec<Finding>) {
     // owns subsequent `bench_function` calls; a non-literal first
     // argument marks the group as dynamically named.
     let mut literal: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut prefixed: BTreeSet<(String, String)> = BTreeSet::new();
     let mut dynamic_groups: BTreeSet<String> = BTreeSet::new();
     let mut known_groups: BTreeSet<String> = BTreeSet::new();
+    // `bench_with_input` calls are often rustfmt-wrapped with the
+    // `BenchmarkId::new("...")` on the following line, so the two are
+    // counted per group rather than matched per line: a surplus of calls
+    // over literal ids means some id was built dynamically.
+    let mut with_input_calls: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut with_input_literals: std::collections::BTreeMap<String, usize> = Default::default();
     for (_, text) in &a.bench_sources {
         let mut group = String::new();
         for line in text.lines() {
@@ -173,6 +188,23 @@ fn check_bench_baseline(a: &Artifacts, findings: &mut Vec<Finding>) {
                     dynamic_groups.insert(group.clone());
                 }
             }
+            if line.contains("bench_with_input(") && !group.is_empty() {
+                *with_input_calls.entry(group.clone()).or_default() += 1;
+            }
+            if let Some(pos) = line.find("BenchmarkId::new(\"") {
+                let rest = &line[pos + 18..];
+                if let Some(end) = rest.find('"') {
+                    if !group.is_empty() {
+                        prefixed.insert((group.clone(), rest[..end].to_string()));
+                        *with_input_literals.entry(group.clone()).or_default() += 1;
+                    }
+                }
+            }
+        }
+    }
+    for (group, calls) in &with_input_calls {
+        if *calls > with_input_literals.get(group).copied().unwrap_or(0) {
+            dynamic_groups.insert(group.clone());
         }
     }
     let gated_groups: BTreeSet<&str> = baseline_ids
@@ -198,6 +230,12 @@ fn check_bench_baseline(a: &Artifacts, findings: &mut Vec<Finding>) {
             ));
         } else if !literal.contains(&(group.to_string(), name.to_string()))
             && !dynamic_groups.contains(group)
+            && !prefixed.iter().any(|(g, p)| {
+                g == group
+                    && name
+                        .strip_prefix(p.as_str())
+                        .is_some_and(|r| r.starts_with('/'))
+            })
         {
             findings.push(Finding::new(
                 RuleId::ArtifactBenchBaseline,
@@ -216,6 +254,20 @@ fn check_bench_baseline(a: &Artifacts, findings: &mut Vec<Finding>) {
                 "BENCH_baseline.json",
                 0,
                 format!("bench `{group}/{name}` exists but the gated baseline lacks it"),
+            ));
+        }
+    }
+    for (group, name) in &prefixed {
+        if gated_groups.contains(group.as_str())
+            && !baseline_ids
+                .iter()
+                .any(|id| id.strip_prefix(&format!("{group}/{name}/")).is_some())
+        {
+            findings.push(Finding::new(
+                RuleId::ArtifactBenchBaseline,
+                "BENCH_baseline.json",
+                0,
+                format!("bench `{group}/{name}/*` exists but the gated baseline lacks it"),
             ));
         }
     }
@@ -344,7 +396,9 @@ mod tests {
                 "counter gcnt_a_total\ncounter gcnt_b_total\ngauge gcnt_g\n".to_string(),
             ),
             bench_baseline: Some(
-                "\"id\": \"flow/fast\",\n\"id\": \"serve/dyn_deadline_10\",\n".to_string(),
+                "\"id\": \"flow/fast\",\n\"id\": \"serve/dyn_deadline_10\",\n\
+                 \"id\": \"spmm/csr/4000\",\n"
+                    .to_string(),
             ),
             bench_sources: vec![
                 (
@@ -356,6 +410,12 @@ mod tests {
                     "crates/bench/benches/serve.rs".to_string(),
                     "c.benchmark_group(\"serve\");\ngroup.bench_function(name, |b| {});\n\
                      c.benchmark_group(\"ungated\");\ngroup.bench_function(\"free\", |b| {});\n"
+                        .to_string(),
+                ),
+                (
+                    "crates/bench/benches/spmm.rs".to_string(),
+                    "c.benchmark_group(\"spmm\");\n\
+                     group.bench_with_input(BenchmarkId::new(\"csr\", n), &(), |b, ()| {});\n"
                         .to_string(),
                 ),
             ],
@@ -417,6 +477,48 @@ mod tests {
             .any(|f| f.message.contains("`flow/fast` exists")));
         // Dynamic names satisfy baseline entries; ungated groups are free.
         assert!(check_artifacts(&base()).is_empty());
+    }
+
+    #[test]
+    fn with_input_coverage_is_checked() {
+        // A literal BenchmarkId in a gated group with no `group/name/*`
+        // baseline entry.
+        let mut a = base();
+        if let Some(src) = a.bench_sources.get_mut(2) {
+            src.1.push_str(
+                "group.bench_with_input(BenchmarkId::new(\"coo\", n), &(), |b, ()| {});\n",
+            );
+        }
+        assert!(check_artifacts(&a)
+            .iter()
+            .any(|f| f.message.contains("`spmm/coo/*` exists")));
+        // A wrapped call whose BenchmarkId lands on the next line still
+        // pairs up (call count == literal count — not dynamic, and the
+        // literal is seen).
+        let mut a = base();
+        if let Some(src) = a.bench_sources.get_mut(2) {
+            src.1 = "c.benchmark_group(\"spmm\");\ngroup.bench_with_input(\n\
+                     BenchmarkId::new(\"csr\", n),\n&(), |b, ()| {});\n"
+                .to_string();
+        }
+        assert!(check_artifacts(&a).is_empty());
+        // A dynamically built id (no literal) exempts the group.
+        let mut a = base();
+        if let Some(src) = a.bench_sources.get_mut(2) {
+            src.1 = "c.benchmark_group(\"spmm\");\n\
+                     group.bench_with_input(BenchmarkId::new(kind, n), &(), |b, ()| {});\n"
+                .to_string();
+        }
+        assert!(check_artifacts(&a).is_empty());
+        // A baseline entry whose prefix no bench declares.
+        let mut a = base();
+        a.bench_baseline = Some(
+            "\"id\": \"flow/fast\",\n\"id\": \"serve/x\",\n\"id\": \"spmm/gone/4000\",\n"
+                .to_string(),
+        );
+        assert!(check_artifacts(&a)
+            .iter()
+            .any(|f| f.message.contains("spmm/gone/4000")));
     }
 
     #[test]

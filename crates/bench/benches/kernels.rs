@@ -1,0 +1,95 @@
+//! Kernel micro-benches: the scalar reference row kernels against the
+//! register-blocked ones, at the two embedding widths the model actually
+//! uses (32 and 64). SpMM runs over a realistic netlist adjacency; GEMM
+//! over the dense embed-layer shapes. Every name is a literal so the
+//! `kernels/*` group is fully covered by `BENCH_baseline.json` (SA602).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gcnt_core::GraphData;
+use gcnt_netlist::{generate, GeneratorConfig};
+use gcnt_tensor::{KernelPolicy, Matrix};
+
+/// Deterministic pseudo-random dense matrix (no RNG dependency needed —
+/// the values only have to be non-trivial and reproducible).
+fn dense(rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i * 2_654_435_761) % 1000) as f32 * 0.002 - 1.0;
+    }
+    m
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let net = generate(&GeneratorConfig::sized("k", 11, 4_000));
+    let data = GraphData::from_netlist(&net, None).expect("acyclic");
+    let adj = data.tensors.pred();
+    let n = adj.rows();
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+
+    let e32 = dense(n, 32);
+    group.bench_function("spmm_d32_scalar", |b| {
+        b.iter(|| {
+            adj.spmm_with_kernel(&e32, KernelPolicy::Scalar)
+                .expect("spmm")
+        })
+    });
+    group.bench_function("spmm_d32_blocked", |b| {
+        b.iter(|| {
+            adj.spmm_with_kernel(&e32, KernelPolicy::Blocked)
+                .expect("spmm")
+        })
+    });
+
+    let e64 = dense(n, 64);
+    group.bench_function("spmm_d64_scalar", |b| {
+        b.iter(|| {
+            adj.spmm_with_kernel(&e64, KernelPolicy::Scalar)
+                .expect("spmm")
+        })
+    });
+    group.bench_function("spmm_d64_blocked", |b| {
+        b.iter(|| {
+            adj.spmm_with_kernel(&e64, KernelPolicy::Blocked)
+                .expect("spmm")
+        })
+    });
+
+    // The embed loop's dense step: aggregated activations × layer weights.
+    let g32 = dense(n, 32);
+    let w32 = dense(32, 32);
+    group.bench_function("gemm_d32_scalar", |b| {
+        b.iter(|| {
+            g32.matmul_with_kernel(&w32, KernelPolicy::Scalar)
+                .expect("matmul")
+        })
+    });
+    group.bench_function("gemm_d32_blocked", |b| {
+        b.iter(|| {
+            g32.matmul_with_kernel(&w32, KernelPolicy::Blocked)
+                .expect("matmul")
+        })
+    });
+
+    let g64 = dense(n, 64);
+    let w64 = dense(64, 64);
+    group.bench_function("gemm_d64_scalar", |b| {
+        b.iter(|| {
+            g64.matmul_with_kernel(&w64, KernelPolicy::Scalar)
+                .expect("matmul")
+        })
+    });
+    group.bench_function("gemm_d64_blocked", |b| {
+        b.iter(|| {
+            g64.matmul_with_kernel(&w64, KernelPolicy::Blocked)
+                .expect("matmul")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

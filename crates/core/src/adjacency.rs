@@ -162,10 +162,55 @@ impl GraphTensors {
     pub fn aggregate(&self, e: &Matrix, w_pr: f32, w_su: f32) -> Result<(Matrix, Matrix, Matrix)> {
         let pe = self.pred.spmm(e)?;
         let se = self.succ.spmm(e)?;
-        let mut g = e.clone();
-        g.axpy(w_pr, &pe)?;
-        g.axpy(w_su, &se)?;
+        let g = e.add_scaled2(w_pr, &pe, w_su, &se)?;
         Ok((g, pe, se))
+    }
+
+    /// [`GraphTensors::aggregate`] without the intermediates: computes
+    /// `G` alone, row-fused — each output row zeroes two scratch rows,
+    /// accumulates its `P·E` / `S·E` rows through the same per-row SpMM
+    /// kernel as the full products, and combines them with `E` in the
+    /// same `(e + w_pr·pe) + w_su·se` element order. The result is
+    /// bit-for-bit the `g` of [`GraphTensors::aggregate`], but the pass
+    /// never materialises (or allocates) the `P·E` / `S·E` matrices —
+    /// this is the inference path, where the backward pass will never
+    /// ask for them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error unless `e.rows()` equals the node count.
+    pub fn aggregate_g(&self, e: &Matrix, w_pr: f32, w_su: f32) -> Result<Matrix> {
+        let cols = e.cols();
+        // Narrow embeddings spend more on per-row dispatch than on the
+        // arithmetic it saves; the whole-matrix SpMM amortises that
+        // machinery across rows and the fused combine stays bit-identical
+        // (same per-row k-order, same `(e + w_pr·pe) + w_su·se` element
+        // order), so below this width take the materialising path.
+        if cols < 16 {
+            let pe = self.pred.spmm(e)?;
+            let se = self.succ.spmm(e)?;
+            return e.add_scaled2(w_pr, &pe, w_su, &se);
+        }
+        let mut pe_row = vec![0.0f32; cols];
+        let mut se_row = vec![0.0f32; cols];
+        let mut data = Vec::with_capacity(self.n * cols);
+        for r in 0..self.n {
+            pe_row.fill(0.0);
+            se_row.fill(0.0);
+            self.pred.spmm_row_into(r, e, &mut pe_row)?;
+            self.succ.spmm_row_into(r, e, &mut se_row)?;
+            data.extend(
+                e.row(r)
+                    .iter()
+                    .zip(&pe_row)
+                    .zip(&se_row)
+                    .map(|((&ev, &pv), &sv)| {
+                        let t = ev + w_pr * pv;
+                        t + w_su * sv
+                    }),
+            );
+        }
+        Matrix::from_vec(self.n, cols, data)
     }
 
     /// Row-sliced variant of [`GraphTensors::aggregate`]: computes only the
@@ -190,10 +235,7 @@ impl GraphTensors {
     ) -> Result<Matrix> {
         let pe = self.pred.spmm_rows(e, rows)?;
         let se = self.succ.spmm_rows(e, rows)?;
-        let mut g = e.gather_rows(rows);
-        g.axpy(w_pr, &pe)?;
-        g.axpy(w_su, &se)?;
-        Ok(g)
+        e.gather_rows(rows).add_scaled2(w_pr, &pe, w_su, &se)
     }
 
     /// Expands a dirty-node set by one aggregation hop: the result contains

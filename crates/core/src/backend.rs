@@ -19,6 +19,13 @@
 //! the same bits a serial session would, so `refresh`/`revert` and the
 //! generation discipline carry over unchanged.
 //!
+//! The same discipline extends down one more level: every SpMM here also
+//! dispatches between the scalar and register-blocked *row kernels*
+//! ([`gcnt_tensor::KernelPolicy`], `GCNT_KERNEL`), which are themselves
+//! bit-identical by construction. Backend choice and kernel choice are
+//! therefore orthogonal, and any of the six combinations produces the
+//! same bits.
+//!
 //! The partitioned representation lives *outside* [`GraphTensors`]
 //! (which is serialized and cloned freely); staleness against the graph
 //! is policed with the same generation counter the embedding caches use.
@@ -117,8 +124,8 @@ impl PartitionedGraph {
 
     /// The aggregate `E + w_pr·(P·E) + w_su·(S·E)` over the partitioned
     /// kernels, bit-identical to [`GraphTensors::aggregate`]'s `g` output
-    /// (identical clone + axpy combination, SpMM identical by the
-    /// partition kernel's guarantee).
+    /// (identical fused `(e + w_pr·pe) + w_su·se` element combination,
+    /// SpMM identical by the partition kernel's guarantee).
     ///
     /// # Errors
     ///
@@ -134,10 +141,7 @@ impl PartitionedGraph {
         self.check_fresh(t)?;
         let pe = self.pred.spmm_with(e, &mut self.pred_scratch)?;
         let se = self.succ.spmm_with(e, &mut self.succ_scratch)?;
-        let mut g = e.clone();
-        g.axpy(w_pr, &pe)?;
-        g.axpy(w_su, &se)?;
-        Ok(g)
+        e.add_scaled2(w_pr, &pe, w_su, &se)
     }
 }
 
@@ -249,10 +253,10 @@ impl MatrixBackend {
         w_su: f32,
     ) -> Result<Matrix> {
         match self {
-            MatrixBackend::Serial => {
-                let (g, _, _) = t.aggregate(e, w_pr, w_su)?;
-                Ok(g)
-            }
+            // The fused g-only pass: bit-identical to `t.aggregate`'s
+            // `g`, without materialising the `P·E` / `S·E` products the
+            // inference loop would immediately drop.
+            MatrixBackend::Serial => t.aggregate_g(e, w_pr, w_su),
             MatrixBackend::Partitioned(pg) => pg.aggregate(t, e, w_pr, w_su),
         }
     }

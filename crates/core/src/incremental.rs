@@ -18,7 +18,11 @@
 //! per-row accumulation order, the patched cache is **bit-for-bit equal** to
 //! a full recompute — not merely close. That exactness is load-bearing: the
 //! flow compares probabilities against a threshold, and a `1e-7` drift could
-//! flip a candidate across it.
+//! flip a candidate across it. The guarantee survives the tensor layer's
+//! runtime kernel dispatch ([`gcnt_tensor::KernelPolicy`]) because the
+//! scalar and register-blocked row kernels are themselves bit-identical —
+//! the full pass and the row-sliced patch agree whichever kernel either of
+//! them happened to run on.
 //!
 //! Staleness is policed with a generation counter:
 //! [`GraphTensors::insert_observation_point`] bumps
@@ -570,8 +574,10 @@ impl<'m> CascadeSession<'m> {
         }
         let mut stage_probs = Vec::with_capacity(stages.len());
         for (gcn, cache) in stages.iter().zip(&caches) {
-            let probs = ops::softmax_rows(&gcn.head().predict(cache.final_embedding())?);
-            stage_probs.push((0..n).map(|r| probs.get(r, 1)).collect());
+            stage_probs.push(ops::softmax_col(
+                &gcn.head().predict(cache.final_embedding())?,
+                1,
+            ));
         }
         let mut session = CascadeSession {
             stages,
@@ -605,8 +611,10 @@ impl<'m> CascadeSession<'m> {
         let mut stage_probs = Vec::with_capacity(stages.len());
         for gcn in stages {
             let cache = gcn.embed_cached_budgeted_with(t, x, budget, backend)?;
-            let probs = ops::softmax_rows(&gcn.head().predict(cache.final_embedding())?);
-            stage_probs.push((0..n).map(|r| probs.get(r, 1)).collect());
+            stage_probs.push(ops::softmax_col(
+                &gcn.head().predict(cache.final_embedding())?,
+                1,
+            ));
             caches.push(cache);
         }
         let mut session = CascadeSession {
@@ -697,10 +705,10 @@ impl<'m> CascadeSession<'m> {
         let mut old_stage_probs = Vec::with_capacity(self.stages.len());
         for (s, gcn) in self.stages.iter().enumerate() {
             let gathered = self.caches[s].final_embedding().gather_rows(&rows);
-            let probs = ops::softmax_rows(&gcn.head().predict(&gathered)?);
+            let probs = ops::softmax_col(&gcn.head().predict(&gathered)?, 1);
             let old: Vec<f32> = rows.iter().map(|&r| self.stage_probs[s][r]).collect();
-            for (i, &r) in rows.iter().enumerate() {
-                self.stage_probs[s][r] = probs.get(i, 1);
+            for (&r, &p) in rows.iter().zip(&probs) {
+                self.stage_probs[s][r] = p;
             }
             old_stage_probs.push(old);
         }

@@ -262,13 +262,18 @@ impl Gcn {
         budget: &Budget,
         backend: &mut MatrixBackend,
     ) -> Result<Matrix> {
-        let mut e = x.clone();
+        // No input clone and in-place ReLU: element-wise identical to
+        // the cached forward pass, without its per-layer allocations.
+        let mut e: Option<Matrix> = None;
         for enc in &self.encoders {
-            budget.charge(e.rows() as u64)?;
-            let g = backend.aggregate(t, &e, self.w_pr(), self.w_su())?;
-            e = ops::relu(&enc.forward(&g)?);
+            let cur = e.as_ref().unwrap_or(x);
+            budget.charge(cur.rows() as u64)?;
+            let g = backend.aggregate(t, cur, self.w_pr(), self.w_su())?;
+            let mut z = enc.forward(&g)?;
+            ops::relu_in_place(&mut z);
+            e = Some(z);
         }
-        Ok(e)
+        Ok(e.unwrap_or_else(|| x.clone()))
     }
 
     /// Probability of the positive class (class 1) for every node.
@@ -294,8 +299,8 @@ impl Gcn {
         budget: &Budget,
     ) -> Result<Vec<f32>> {
         let logits = self.head.predict(&self.embed_budgeted(t, x, budget)?)?;
-        let probs = ops::softmax_rows(&logits);
-        Ok((0..probs.rows()).map(|r| probs.get(r, 1)).collect())
+        // Same max/exp/sum order as `softmax_rows`, minus the full matrix.
+        Ok(ops::softmax_col(&logits, 1))
     }
 
     /// [`Gcn::predict_proba_budgeted`] through an explicit
@@ -315,8 +320,7 @@ impl Gcn {
         let logits = self
             .head
             .predict(&self.embed_budgeted_with(t, x, budget, backend)?)?;
-        let probs = ops::softmax_rows(&logits);
-        Ok((0..probs.rows()).map(|r| probs.get(r, 1)).collect())
+        Ok(ops::softmax_col(&logits, 1))
     }
 
     /// Backward pass through the head, the encoders and the aggregations,

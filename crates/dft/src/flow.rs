@@ -41,7 +41,8 @@ use serde::{Deserialize, Serialize};
 
 use gcnt_core::features::{squash, FeatureNormalizer, OBSERVATION_POINT_ATTRS, RAW_DIM};
 use gcnt_core::{
-    CascadeSession, EmbeddingCache, Gcn, GraphTensors, MatrixBackend, MultiStageGcn, SessionDelta,
+    CascadeSession, EmbeddingCache, Gcn, GraphTensors, KernelPolicy, MatrixBackend, MultiStageGcn,
+    SessionDelta,
 };
 use gcnt_lint::{
     lint_embedding_caches, lint_graph_tensors, lint_netlist, lint_partitioned_graph, lint_scoap,
@@ -256,6 +257,83 @@ impl std::str::FromStr for FlowBackend {
             "auto" => Ok(FlowBackend::Auto),
             other => Err(format!(
                 "unknown backend '{other}' (use serial, partitioned or auto)"
+            )),
+        }
+    }
+}
+
+/// Which tensor row kernel the flow's matrix products run on
+/// ([`gcnt_core::KernelPolicy`]). Scalar and blocked kernels are
+/// bit-identical, so — like [`FlowBackend`] — this only moves throughput,
+/// never the outcome.
+///
+/// Unlike the backend, the kernel policy is a *process-wide* setting
+/// (`GCNT_KERNEL`), so the default here is [`FlowKernel::Inherit`]: the
+/// flow leaves whatever policy the process already runs under untouched
+/// unless explicitly told otherwise. That keeps `gcnt flow` runs from
+/// stomping an operator's (or a test harness's) environment choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowKernel {
+    /// Leave the process-wide policy (env or prior install) as-is.
+    Inherit,
+    /// Install the scalar reference kernel for this process.
+    Scalar,
+    /// Install the register-blocked kernel for this process.
+    Blocked,
+    /// Install automatic per-product selection for this process.
+    Auto,
+}
+
+#[allow(clippy::derivable_impls)] // shim serde derive cannot parse #[default]
+impl Default for FlowKernel {
+    fn default() -> Self {
+        FlowKernel::Inherit
+    }
+}
+
+impl FlowKernel {
+    /// Installs the requested policy process-wide; a no-op for
+    /// [`FlowKernel::Inherit`].
+    pub fn install(self) {
+        if let Some(policy) = self.policy() {
+            policy.set_global();
+        }
+    }
+
+    /// The [`KernelPolicy`] this choice pins, `None` for
+    /// [`FlowKernel::Inherit`].
+    pub fn policy(self) -> Option<KernelPolicy> {
+        match self {
+            FlowKernel::Inherit => None,
+            FlowKernel::Scalar => Some(KernelPolicy::Scalar),
+            FlowKernel::Blocked => Some(KernelPolicy::Blocked),
+            FlowKernel::Auto => Some(KernelPolicy::Auto),
+        }
+    }
+}
+
+impl fmt::Display for FlowKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlowKernel::Inherit => "inherit",
+            FlowKernel::Scalar => "scalar",
+            FlowKernel::Blocked => "blocked",
+            FlowKernel::Auto => "auto",
+        })
+    }
+}
+
+impl std::str::FromStr for FlowKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "inherit" => Ok(FlowKernel::Inherit),
+            "scalar" => Ok(FlowKernel::Scalar),
+            "blocked" => Ok(FlowKernel::Blocked),
+            "auto" => Ok(FlowKernel::Auto),
+            other => Err(format!(
+                "unknown kernel '{other}' (use inherit, scalar, blocked or auto)"
             )),
         }
     }
@@ -638,6 +716,10 @@ pub struct FlowConfig {
     /// Matrix backend for full inference passes; defaults to
     /// [`FlowBackend::Auto`]. All choices are bit-identical.
     pub backend: FlowBackend,
+    /// Tensor row-kernel policy installed before the run; defaults to
+    /// [`FlowKernel::Inherit`] (keep the process-wide setting). All
+    /// choices are bit-identical.
+    pub kernel: FlowKernel,
 }
 
 impl Default for FlowConfig {
@@ -651,6 +733,7 @@ impl Default for FlowConfig {
             skip_budget: 0,
             impact_mode: ImpactMode::Incremental,
             backend: FlowBackend::Auto,
+            kernel: FlowKernel::Inherit,
         }
     }
 }
@@ -1072,6 +1155,10 @@ where
             // so the budget is not charged for unused work.
             return Ok(());
         }
+
+        // Pin the tensor row-kernel policy for the run (a no-op under the
+        // default `Inherit`, which keeps the process-wide setting).
+        cfg.kernel.install();
 
         // The matrix backend for full inference passes, built against the
         // post-replay graph state. Commits bump the generation;

@@ -68,13 +68,9 @@ impl Linear {
     ///
     /// Returns a shape error unless `x.cols() == self.fan_in()`.
     pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
-        let mut y = x.matmul(&self.weight)?;
-        for r in 0..y.rows() {
-            for (v, &b) in y.row_mut(r).iter_mut().zip(&self.bias) {
-                *v += b;
-            }
-        }
-        Ok(y)
+        // Fused product + bias: each output row gets its bias while still
+        // cache-hot, bit-identical to matmul followed by a bias pass.
+        x.matmul_bias(&self.weight, &self.bias)
     }
 
     /// Computes parameter gradients and the input gradient given the layer

@@ -111,16 +111,19 @@ impl Mlp {
     ///
     /// Returns a shape error if `x.cols() != self.fan_in()`.
     pub fn predict(&self, x: &Matrix) -> Result<Matrix> {
-        let mut cur = x.clone();
+        // No input clone and in-place ReLU on the owned intermediates:
+        // same element-wise results as the cached forward pass, without
+        // its per-layer allocations.
+        let mut cur: Option<Matrix> = None;
         for (i, layer) in self.layers.iter().enumerate() {
-            let z = layer.forward(&cur)?;
-            cur = if i + 1 < self.layers.len() {
-                ops::relu(&z)
-            } else {
-                z
-            };
+            let mut z = layer.forward(cur.as_ref().unwrap_or(x))?;
+            if i + 1 < self.layers.len() {
+                ops::relu_in_place(&mut z);
+            }
+            cur = Some(z);
         }
-        Ok(cur)
+        // A constructed MLP always has at least one layer.
+        Ok(cur.expect("mlp has layers"))
     }
 
     /// Backward pass: given the cache from [`Mlp::forward`] and the logits

@@ -1,6 +1,7 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::kernel::{self, KernelPolicy};
 use crate::{CooMatrix, Matrix, Result, TensorError};
 
 /// spmm falls back to a serial loop below this many output elements.
@@ -58,7 +59,9 @@ impl CsrMatrix {
         // Counting sort by row.
         let mut counts = vec![0usize; rows + 1];
         for (r, _, _) in coo.iter() {
-            counts[r + 1] += 1;
+            if let Some(slot) = counts.get_mut(r + 1) {
+                *slot += 1;
+            }
         }
         let mut running = 0usize;
         for count in counts.iter_mut() {
@@ -71,23 +74,31 @@ impl CsrMatrix {
         let mut values = vec![0f32; nnz];
         let mut cursor = indptr_raw.clone();
         for (r, c, v) in coo.iter() {
-            let pos = cursor[r];
+            let pos = cursor.get(r).copied().unwrap_or(0);
             // CAST: c round-trips from the COO's u32 column storage.
-            indices[pos] = c as u32;
-            values[pos] = v;
-            cursor[r] += 1;
+            if let Some(slot) = indices.get_mut(pos) {
+                *slot = c as u32;
+            }
+            if let Some(slot) = values.get_mut(pos) {
+                *slot = v;
+            }
+            if let Some(slot) = cursor.get_mut(r) {
+                *slot += 1;
+            }
         }
         // Sort each row by column and merge duplicates.
         let mut out_indptr = vec![0usize; rows + 1];
         let mut out_indices = Vec::with_capacity(nnz);
         let mut out_values = Vec::with_capacity(nnz);
         for r in 0..rows {
-            let start = indptr_raw[r];
-            let end = indptr_raw[r + 1];
-            let mut row: Vec<(u32, f32)> = indices[start..end]
+            let start = indptr_raw.get(r).copied().unwrap_or(0);
+            let end = indptr_raw.get(r + 1).copied().unwrap_or(start);
+            let mut row: Vec<(u32, f32)> = indices
+                .get(start..end)
+                .unwrap_or(&[])
                 .iter()
                 .copied()
-                .zip(values[start..end].iter().copied())
+                .zip(values.get(start..end).unwrap_or(&[]).iter().copied())
                 .collect();
             row.sort_unstable_by_key(|&(c, _)| c);
             let row_start = out_indices.len();
@@ -105,7 +116,9 @@ impl CsrMatrix {
                     }
                 }
             }
-            out_indptr[r + 1] = out_indices.len();
+            if let Some(slot) = out_indptr.get_mut(r + 1) {
+                *slot = out_indices.len();
+            }
         }
         CsrMatrix {
             rows,
@@ -254,13 +267,26 @@ impl CsrMatrix {
             .map(|(&c, &v)| (c as usize, v))
     }
 
-    /// Sparse × dense product `self * rhs`, parallelised over output rows.
+    /// Sparse × dense product `self * rhs`, parallelised over output rows,
+    /// on the process-wide [`KernelPolicy`].
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.cols() == rhs.rows()`.
     pub fn spmm(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.spmm_with_kernel(rhs, KernelPolicy::global())
+    }
+
+    /// [`CsrMatrix::spmm`] on an explicit kernel policy, bypassing the
+    /// process-wide setting. Both kernels produce bit-identical output
+    /// (see [`crate::kernel`]); the choice is purely a throughput one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == rhs.rows()`.
+    pub fn spmm_with_kernel(&self, rhs: &Matrix, policy: KernelPolicy) -> Result<Matrix> {
         debug_assert!(self.structure_ok(), "spmm on a malformed CSR matrix");
         if self.cols != rhs.rows() {
             return Err(TensorError::ShapeMismatch {
@@ -269,28 +295,27 @@ impl CsrMatrix {
                 rhs: rhs.shape(),
             });
         }
+        let n = rhs.cols();
+        let kernel = policy.resolve(n);
         let obs = gcnt_obs::global();
-        if obs.is_enabled() {
+        let enabled = obs.is_enabled();
+        if enabled {
             obs.incr(gcnt_obs::counters::TENSOR_SPMM_CALLS);
+            obs.incr(kernel.dispatch_counter());
             obs.add(gcnt_obs::counters::TENSOR_SPMM_ROWS, self.rows as u64);
             obs.add(
                 gcnt_obs::counters::TENSOR_SPMM_NNZ,
                 self.values.len() as u64,
             );
         }
-        let n = rhs.cols();
+        let started = enabled.then(std::time::Instant::now);
         let mut out = Matrix::zeros(self.rows, n);
         let row_kernel = |(r, out_row): (usize, &mut [f32])| {
             let start = self.indptr.get(r).copied().unwrap_or(0);
             let end = self.indptr.get(r + 1).copied().unwrap_or(start);
             let idx = self.indices.get(start..end).unwrap_or(&[]);
             let vals = self.values.get(start..end).unwrap_or(&[]);
-            for (&ci, &v) in idx.iter().zip(vals) {
-                let rhs_row = rhs.row(ci as usize);
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += v * b;
-                }
-            }
+            kernel::spmm_row(kernel, out_row, idx, vals, |c| rhs.row(c));
         };
         if self.rows * n >= PAR_SPMM_THRESHOLD {
             out.as_mut_slice()
@@ -303,7 +328,53 @@ impl CsrMatrix {
                 row_kernel((r, out_row));
             }
         }
+        if let Some(t0) = started {
+            // CAST: saturating at u64::MAX ns is fine for a latency sample.
+            obs.observe(kernel.spmm_histogram(), t0.elapsed().as_nanos() as u64);
+        }
         Ok(out)
+    }
+
+    /// Accumulates one product row into a caller-provided buffer:
+    /// `out[j] += (self * rhs)[row][j]`, on the process-wide
+    /// [`KernelPolicy`].
+    ///
+    /// This is the raw per-row primitive behind [`CsrMatrix::spmm`] —
+    /// identical kernel, identical stored-coefficient accumulation order,
+    /// so filling a zeroed buffer reproduces the corresponding `spmm` row
+    /// bit for bit. Unlike the whole-product entry points it records no
+    /// observability samples (callers invoke it per row; per-call
+    /// instrumentation would swamp the measurement). The GCN's fused
+    /// serial aggregation uses it to combine `P·E` and `S·E` rows without
+    /// materialising either product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == rhs.rows()` and `out.len() == rhs.cols()`, and
+    /// [`TensorError::IndexOutOfBounds`] if `row` is out of range.
+    pub fn spmm_row_into(&self, row: usize, rhs: &Matrix, out: &mut [f32]) -> Result<()> {
+        debug_assert!(self.structure_ok(), "spmm_row_into on a malformed CSR");
+        if self.cols != rhs.rows() || out.len() != rhs.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "spmm_row_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if row >= self.rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: (row, 0),
+                shape: self.shape(),
+            });
+        }
+        let kernel = KernelPolicy::global().resolve(rhs.cols());
+        let start = self.indptr.get(row).copied().unwrap_or(0);
+        let end = self.indptr.get(row + 1).copied().unwrap_or(start);
+        let idx = self.indices.get(start..end).unwrap_or(&[]);
+        let vals = self.values.get(start..end).unwrap_or(&[]);
+        kernel::spmm_row(kernel, out, idx, vals, |c| rhs.row(c));
+        Ok(())
     }
 
     /// Row-sliced sparse × dense product: computes only the listed output
@@ -321,6 +392,23 @@ impl CsrMatrix {
     /// `self.cols() == rhs.rows()`, and [`TensorError::IndexOutOfBounds`] if
     /// any requested row is out of range.
     pub fn spmm_rows(&self, rhs: &Matrix, rows: &[usize]) -> Result<Matrix> {
+        self.spmm_rows_with_kernel(rhs, rows, KernelPolicy::global())
+    }
+
+    /// [`CsrMatrix::spmm_rows`] on an explicit kernel policy, bypassing the
+    /// process-wide setting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == rhs.rows()`, and [`TensorError::IndexOutOfBounds`] if
+    /// any requested row is out of range.
+    pub fn spmm_rows_with_kernel(
+        &self,
+        rhs: &Matrix,
+        rows: &[usize],
+        policy: KernelPolicy,
+    ) -> Result<Matrix> {
         debug_assert!(self.structure_ok(), "spmm_rows on a malformed CSR matrix");
         if self.cols != rhs.rows() {
             return Err(TensorError::ShapeMismatch {
@@ -335,9 +423,12 @@ impl CsrMatrix {
                 shape: self.shape(),
             });
         }
+        let n = rhs.cols();
+        let kernel = policy.resolve(n);
         let obs = gcnt_obs::global();
         if obs.is_enabled() {
             obs.incr(gcnt_obs::counters::TENSOR_SPMM_CALLS);
+            obs.incr(kernel.dispatch_counter());
             obs.add(gcnt_obs::counters::TENSOR_SPMM_ROWS, rows.len() as u64);
             let nnz: usize = rows
                 .iter()
@@ -348,7 +439,6 @@ impl CsrMatrix {
                 .sum();
             obs.add(gcnt_obs::counters::TENSOR_SPMM_NNZ, nnz as u64);
         }
-        let n = rhs.cols();
         let mut out = Matrix::zeros(rows.len(), n);
         if n == 0 {
             return Ok(out);
@@ -359,12 +449,7 @@ impl CsrMatrix {
             let end = self.indptr.get(r + 1).copied().unwrap_or(start);
             let idx = self.indices.get(start..end).unwrap_or(&[]);
             let vals = self.values.get(start..end).unwrap_or(&[]);
-            for (&ci, &v) in idx.iter().zip(vals) {
-                let rhs_row = rhs.row(ci as usize);
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += v * b;
-                }
-            }
+            kernel::spmm_row(kernel, out_row, idx, vals, |c| rhs.row(c));
         }
         Ok(out)
     }
@@ -411,7 +496,9 @@ impl CsrMatrix {
     pub fn transpose(&self) -> CsrMatrix {
         let mut counts = vec![0usize; self.cols + 1];
         for &c in &self.indices {
-            counts[c as usize + 1] += 1;
+            if let Some(slot) = counts.get_mut(c as usize + 1) {
+                *slot += 1;
+            }
         }
         let mut running = 0usize;
         for count in counts.iter_mut() {
@@ -424,12 +511,18 @@ impl CsrMatrix {
         let mut values = vec![0f32; self.nnz()];
         for r in 0..self.rows {
             for (c, v) in self.row(r) {
-                let pos = cursor[c];
+                let pos = cursor.get(c).copied().unwrap_or(0);
                 // CAST: rows beyond u32 cannot hold entries — every stored
                 // row index came from the COO's u32 storage.
-                indices[pos] = r as u32;
-                values[pos] = v;
-                cursor[c] += 1;
+                if let Some(slot) = indices.get_mut(pos) {
+                    *slot = r as u32;
+                }
+                if let Some(slot) = values.get_mut(pos) {
+                    *slot = v;
+                }
+                if let Some(slot) = cursor.get_mut(c) {
+                    *slot += 1;
+                }
             }
         }
         CsrMatrix {

@@ -1,6 +1,7 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::kernel::{self, KernelPolicy};
 use crate::{Result, TensorError};
 
 /// GEMM falls back to a serial loop below this many output elements; the
@@ -180,13 +181,26 @@ impl Matrix {
         self.data
     }
 
-    /// Matrix product `self * rhs`, parallelised over rows for large outputs.
+    /// Matrix product `self * rhs`, parallelised over rows for large
+    /// outputs, on the process-wide [`KernelPolicy`].
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.cols() == rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_with_kernel(rhs, KernelPolicy::global())
+    }
+
+    /// [`Matrix::matmul`] on an explicit kernel policy, bypassing the
+    /// process-wide setting. Both kernels produce bit-identical output
+    /// (see [`crate::kernel`]); the choice is purely a throughput one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == rhs.rows()`.
+    pub fn matmul_with_kernel(&self, rhs: &Matrix, policy: KernelPolicy) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -197,16 +211,86 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
         let k = self.cols;
+        let kern = policy.resolve(n);
+        {
+            let obs = gcnt_obs::global();
+            if obs.is_enabled() {
+                obs.incr(kern.dispatch_counter());
+            }
+        }
         let gemm_row = |(r, out_row): (usize, &mut [f32])| {
-            let lhs_row = &self.data[r * k..(r + 1) * k];
-            for (kk, &a) in lhs_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
+            let lhs_row = self.data.get(r * k..(r + 1) * k).unwrap_or(&[]);
+            kernel::gemm_row(kern, out_row, lhs_row, &rhs.data, n);
+        };
+        if self.rows * n >= PAR_GEMM_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, out_row)| gemm_row((r, out_row)));
+        } else {
+            for (r, out_row) in out.data.chunks_mut(n).enumerate() {
+                gemm_row((r, out_row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product plus row-broadcast bias `self * rhs + bias`, on
+    /// the process-wide [`KernelPolicy`].
+    ///
+    /// The bias is added to each output row immediately after that row's
+    /// accumulation finishes — while the row is still cache-hot — which
+    /// is bit-identical to running [`Matrix::matmul`] and then a second
+    /// full `+= bias` pass (the bias lands after the complete `k`-order
+    /// sum either way) but skips re-walking the output slab. This is the
+    /// linear-layer forward `x·W + b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == rhs.rows()` and `bias.len() == rhs.cols()`.
+    pub fn matmul_bias(&self, rhs: &Matrix, bias: &[f32]) -> Result<Matrix> {
+        self.matmul_bias_with_kernel(rhs, bias, KernelPolicy::global())
+    }
+
+    /// [`Matrix::matmul_bias`] on an explicit kernel policy, bypassing
+    /// the process-wide setting.
+    ///
+    /// # Errors
+    ///
+    /// As [`Matrix::matmul_bias`].
+    pub fn matmul_bias_with_kernel(
+        &self,
+        rhs: &Matrix,
+        bias: &[f32],
+        policy: KernelPolicy,
+    ) -> Result<Matrix> {
+        if self.cols != rhs.rows || bias.len() != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_bias",
+                lhs: self.shape(),
+                rhs: if self.cols != rhs.rows {
+                    rhs.shape()
+                } else {
+                    (bias.len(), 1)
+                },
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        let k = self.cols;
+        let kern = policy.resolve(n);
+        {
+            let obs = gcnt_obs::global();
+            if obs.is_enabled() {
+                obs.incr(kern.dispatch_counter());
+            }
+        }
+        let gemm_row = |(r, out_row): (usize, &mut [f32])| {
+            let lhs_row = self.data.get(r * k..(r + 1) * k).unwrap_or(&[]);
+            kernel::gemm_row(kern, out_row, lhs_row, &rhs.data, n);
+            for (o, &b) in out_row.iter_mut().zip(bias) {
+                *o += b;
             }
         };
         if self.rows * n >= PAR_GEMM_THRESHOLD {
@@ -241,12 +325,13 @@ impl Matrix {
         let n = rhs.cols;
         let rows = self.rows;
         let compute_out_row = |kk: usize, out_row: &mut [f32]| {
-            for r in 0..rows {
-                let a = self.data[r * k + kk];
+            let lhs_rows = self.data.chunks_exact(k.max(1));
+            let rhs_rows = rhs.data.chunks_exact(n.max(1));
+            for (lhs_row, rhs_row) in lhs_rows.zip(rhs_rows) {
+                let a = lhs_row.get(kk).copied().unwrap_or(0.0);
                 if a == 0.0 {
                     continue;
                 }
-                let rhs_row = &rhs.data[r * n..(r + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
                 }
@@ -283,10 +368,13 @@ impl Matrix {
         let k = self.cols;
         let n = rhs.rows;
         let mut out = Matrix::zeros(self.rows, n);
+        // Dot-product form: each output element is one serial reduction, so
+        // this stays on the scalar loop — unrolling it with partial
+        // accumulators would change the summation order and break the
+        // bit-exactness contract the kernel dispatch is built on.
         let gemm_row = |(r, out_row): (usize, &mut [f32])| {
-            let lhs_row = &self.data[r * k..(r + 1) * k];
-            for (c, o) in out_row.iter_mut().enumerate() {
-                let rhs_row = &rhs.data[c * k..(c + 1) * k];
+            let lhs_row = self.data.get(r * k..(r + 1) * k).unwrap_or(&[]);
+            for (o, rhs_row) in out_row.iter_mut().zip(rhs.data.chunks_exact(k.max(1))) {
                 let mut acc = 0.0;
                 for (a, b) in lhs_row.iter().zip(rhs_row) {
                     acc += a * b;
@@ -310,9 +398,12 @@ impl Matrix {
     /// Returns the transpose as a new matrix.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        let rows = self.rows;
+        for (r, row) in self.data.chunks_exact(self.cols.max(1)).enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if let Some(o) = out.data.get_mut(c * rows + r) {
+                    *o = v;
+                }
             }
         }
         out
@@ -362,6 +453,47 @@ impl Matrix {
             *a += alpha * b;
         }
         Ok(())
+    }
+
+    /// Fused `self + a * x + b * y` in one pass over the operands.
+    ///
+    /// Each element is computed as `(self + a * x) + b * y` — the exact
+    /// addition order of `clone` + [`Matrix::axpy`] + [`Matrix::axpy`] —
+    /// so the result is bit-identical to the three-pass version while
+    /// reading every operand slab once instead of walking the output
+    /// three times. This is the aggregation combine
+    /// `E + w_pr·(P·E) + w_su·(S·E)` of the GCN embed loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_scaled2(&self, a: f32, x: &Matrix, b: f32, y: &Matrix) -> Result<Matrix> {
+        if self.shape() != x.shape() || self.shape() != y.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_scaled2",
+                lhs: self.shape(),
+                rhs: if self.shape() != x.shape() {
+                    x.shape()
+                } else {
+                    y.shape()
+                },
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&x.data)
+            .zip(&y.data)
+            .map(|((&e, &p), &s)| {
+                let t = e + a * p;
+                t + b * s
+            })
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Scales every element in place.

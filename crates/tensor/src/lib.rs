@@ -15,6 +15,9 @@
 //!   fanout-balanced row blocks with per-partition halos, whose
 //!   partition-parallel [`PartitionedCsr::spmm`] is bit-identical to the
 //!   serial kernel. This is what makes 10^5–10^6-node designs tractable.
+//! * [`KernelPolicy`] — runtime dispatch between the scalar reference row
+//!   kernels and the register-blocked, autovectorization-friendly ones
+//!   (bit-identical by construction; see [`kernel`]).
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@ mod coo;
 mod csr;
 mod dense;
 mod error;
+pub mod kernel;
 pub mod ops;
 mod partition;
 
@@ -46,4 +50,5 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::Matrix;
 pub use error::{Result, TensorError};
+pub use kernel::{Kernel, KernelPolicy};
 pub use partition::{PartitionPlan, PartitionScratch, PartitionedCsr};

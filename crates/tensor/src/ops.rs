@@ -18,6 +18,13 @@ pub fn relu(m: &Matrix) -> Matrix {
     m.map(|v| if v > 0.0 { v } else { 0.0 })
 }
 
+/// [`relu`] applied in place — same element-wise result without
+/// allocating a fresh matrix; the inference loops use this on owned
+/// intermediates.
+pub fn relu_in_place(m: &mut Matrix) {
+    m.map_inplace(|v| if v > 0.0 { v } else { 0.0 });
+}
+
 /// Gradient mask of ReLU: `1` where the *pre-activation* input was positive.
 pub fn relu_mask(pre_activation: &Matrix) -> Matrix {
     pre_activation.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
@@ -47,6 +54,42 @@ pub fn softmax_rows(m: &Matrix) -> Matrix {
         }
     }
     out
+}
+
+/// One column of [`softmax_rows`] without materialising the matrix.
+///
+/// Performs the same per-row max / exp / sum arithmetic in the same
+/// order, so `softmax_col(m, c)[r]` is bit-for-bit equal to
+/// `softmax_rows(m).get(r, c)` — including the degenerate all`-inf` row
+/// where the sum guard leaves the exponentials undivided.
+///
+/// # Panics
+///
+/// Panics if `col >= m.cols()`.
+pub fn softmax_col(m: &Matrix, col: usize) -> Vec<f32> {
+    assert!(col < m.cols(), "softmax_col: column {col} out of range");
+    debug_assert!(
+        m.as_slice().iter().all(|v| !v.is_nan()),
+        "softmax_col on NaN logits"
+    );
+    let mut scratch = vec![0.0f32; m.cols()];
+    (0..m.rows())
+        .map(|r| {
+            let row = m.row(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (s, &v) in scratch.iter_mut().zip(row) {
+                *s = (v - max).exp();
+                sum += *s;
+            }
+            let e = scratch.get(col).copied().unwrap_or(0.0);
+            if sum > 0.0 {
+                e / sum
+            } else {
+                e
+            }
+        })
+        .collect()
 }
 
 /// Index of the maximum element in each row.

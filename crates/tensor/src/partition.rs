@@ -28,6 +28,7 @@
 
 use std::time::Instant;
 
+use crate::kernel::{self, Kernel, KernelPolicy};
 use crate::{CsrMatrix, Matrix, Result, TensorError};
 
 /// A contiguous row-range partitioning of an `n x n` adjacency: `P + 1`
@@ -376,6 +377,24 @@ impl PartitionedCsr {
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.cols() == rhs.rows()`.
     pub fn spmm_with(&self, rhs: &Matrix, scratch: &mut PartitionScratch) -> Result<Matrix> {
+        self.spmm_with_kernel(rhs, scratch, KernelPolicy::global())
+    }
+
+    /// [`PartitionedCsr::spmm_with`] on an explicit kernel policy,
+    /// bypassing the process-wide setting. The policy is resolved once
+    /// and every partition worker runs the same resolved kernel, so the
+    /// bit-identity with [`CsrMatrix::spmm`] holds kernel-by-kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == rhs.rows()`.
+    pub fn spmm_with_kernel(
+        &self,
+        rhs: &Matrix,
+        scratch: &mut PartitionScratch,
+        policy: KernelPolicy,
+    ) -> Result<Matrix> {
         if self.cols != rhs.rows() {
             return Err(TensorError::ShapeMismatch {
                 op: "partitioned_spmm",
@@ -383,9 +402,13 @@ impl PartitionedCsr {
                 rhs: rhs.shape(),
             });
         }
+        let n = rhs.cols();
+        let kernel = policy.resolve(n);
         let obs = gcnt_obs::global();
-        if obs.is_enabled() {
+        let enabled = obs.is_enabled();
+        if enabled {
             obs.incr(gcnt_obs::counters::TENSOR_SPMM_CALLS);
+            obs.incr(kernel.dispatch_counter());
             obs.add(gcnt_obs::counters::TENSOR_SPMM_ROWS, self.rows as u64);
             obs.add(
                 gcnt_obs::counters::TENSOR_SPMM_NNZ,
@@ -396,18 +419,22 @@ impl PartitionedCsr {
                 self.halo_cols.len() as u64,
             );
         }
-        let n = rhs.cols();
+        let started = enabled.then(Instant::now);
         let mut out = Matrix::zeros(self.rows, n);
         if n == 0 || self.rows == 0 {
             return Ok(out);
         }
         scratch.data.resize(self.halo_cols.len() * n, 0.0);
         let blocks = self.blocks(out.as_mut_slice(), scratch.data.as_mut_slice(), n);
-        let timings = run_blocks(blocks, rhs, self.cols, n);
-        if obs.is_enabled() {
+        let timings = run_blocks(blocks, rhs, self.cols, n, kernel);
+        if enabled {
             for ns in timings {
                 obs.observe(gcnt_obs::histograms::TENSOR_PARTITION_SPMM_NS, ns);
             }
+        }
+        if let Some(t0) = started {
+            // CAST: saturating at u64::MAX ns is fine for a latency sample.
+            obs.observe(kernel.spmm_histogram(), t0.elapsed().as_nanos() as u64);
         }
         Ok(out)
     }
@@ -454,11 +481,17 @@ impl PartitionedCsr {
 /// returns each worker's wall-clock nanoseconds. A panicking worker is
 /// resumed on the caller's thread, exactly as a serial kernel panic
 /// would surface.
-fn run_blocks(blocks: Vec<Block<'_>>, rhs: &Matrix, cols: usize, n: usize) -> Vec<u64> {
+fn run_blocks(
+    blocks: Vec<Block<'_>>,
+    rhs: &Matrix,
+    cols: usize,
+    n: usize,
+    kernel: Kernel,
+) -> Vec<u64> {
     let scoped = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = blocks
             .into_iter()
-            .map(|block| scope.spawn(move |_| spmm_block(block, rhs, cols, n)))
+            .map(|block| scope.spawn(move |_| spmm_block(block, rhs, cols, n, kernel)))
             .collect();
         handles
             .into_iter()
@@ -474,10 +507,12 @@ fn run_blocks(blocks: Vec<Block<'_>>, rhs: &Matrix, cols: usize, n: usize) -> Ve
     }
 }
 
-/// One partition's work: halo exchange, then the serial CSR row kernel
-/// over the block. Accumulation order per output row is exactly
-/// [`CsrMatrix::spmm`]'s, so the result is bit-identical.
-fn spmm_block(block: Block<'_>, rhs: &Matrix, cols: usize, n: usize) -> u64 {
+/// One partition's work: halo exchange, then the shared CSR row kernel
+/// over the block on the resolved [`Kernel`]. Accumulation order per
+/// output row is exactly [`CsrMatrix::spmm`]'s on the same kernel, and
+/// both kernels agree bitwise, so the result is bit-identical to the
+/// serial product whatever the policy.
+fn spmm_block(block: Block<'_>, rhs: &Matrix, cols: usize, n: usize, kern: Kernel) -> u64 {
     let t0 = Instant::now();
     let Block {
         indptr,
@@ -494,23 +529,22 @@ fn spmm_block(block: Block<'_>, rhs: &Matrix, cols: usize, n: usize) -> u64 {
         dst.copy_from_slice(rhs.row(c as usize));
     }
     let gathered: &[f32] = scratch;
+    // Column indices >= `cols` are halo positions: resolve them into the
+    // gathered arena, everything else straight from `rhs`.
+    let fetch = |c: usize| {
+        if c < cols {
+            rhs.row(c)
+        } else {
+            let off = (c - cols) * n;
+            gathered.get(off..off + n).unwrap_or(&[])
+        }
+    };
     let row_starts = indptr.iter();
     let row_ends = indptr.iter().skip(1);
     for ((out_row, &s), &e) in out.chunks_mut(n).zip(row_starts).zip(row_ends) {
         let idx = indices.get(s as usize..e as usize).unwrap_or(&[]);
         let vals = values.get(s as usize..e as usize).unwrap_or(&[]);
-        for (&ci, &v) in idx.iter().zip(vals) {
-            let c = ci as usize;
-            let src = if c < cols {
-                rhs.row(c)
-            } else {
-                let off = (c - cols) * n;
-                gathered.get(off..off + n).unwrap_or(&[])
-            };
-            for (o, &b) in out_row.iter_mut().zip(src) {
-                *o += v * b;
-            }
-        }
+        kernel::spmm_row(kern, out_row, idx, vals, fetch);
     }
     // CAST: saturating clock-to-u64; 2^64 ns is ~584 years.
     u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)

@@ -5,11 +5,12 @@
 #   scripts/bench_gate.sh record    # rewrite BENCH_baseline.json in place
 #   scripts/bench_gate.sh compare   # exit nonzero on >25% median regression
 #
-# The gated set is the four benches that exercise the paper-critical paths:
+# The gated set is the five benches that exercise the paper-critical paths:
 # flow (GCN-guided OP insertion), incremental (dirty-cone embedding reuse),
 # serve (admission/ladder/journal), scale (10^5-node embedding, serial vs
-# partitioned backend). GCNT_BENCH_TOLERANCE=<percent> widens or narrows the
-# compare gate.
+# partitioned backend), kernels (scalar vs register-blocked SpMM/GEMM row
+# kernels at dims 32/64). GCNT_BENCH_TOLERANCE=<percent> widens or narrows
+# the compare gate.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,7 +31,7 @@ fi
 # id, which is stable against transient machine load where any single run
 # is not. A real regression slows every repeat and still trips the gate.
 REPEATS="${GCNT_BENCH_REPEATS:-3}"
-for bench in flow incremental serve scale; do
+for bench in flow incremental serve scale kernels; do
     rm -f "$logdir/$bench.log"
     for ((i = 1; i <= REPEATS; i++)); do
         echo "== cargo bench --bench $bench (run $i/$REPEATS) =="
@@ -41,11 +42,13 @@ done
 case "$mode" in
 record)
     cargo run -q -p gcnt-bench --bin bench_gate -- record --out "$baseline" \
-        "$logdir"/flow.log "$logdir"/incremental.log "$logdir"/serve.log "$logdir"/scale.log
+        "$logdir"/flow.log "$logdir"/incremental.log "$logdir"/serve.log \
+        "$logdir"/scale.log "$logdir"/kernels.log
     ;;
 compare)
     cargo run -q -p gcnt-bench --bin bench_gate -- compare --baseline "$baseline" \
-        "$logdir"/flow.log "$logdir"/incremental.log "$logdir"/serve.log "$logdir"/scale.log
+        "$logdir"/flow.log "$logdir"/incremental.log "$logdir"/serve.log \
+        "$logdir"/scale.log "$logdir"/kernels.log
     ;;
 *)
     echo "usage: $0 [record|compare]" >&2

@@ -48,19 +48,27 @@ impl<'a, T: Send> EnumerateParChunksMut<'a, T> {
     where
         F: Fn((usize, &mut [T])) + Sync,
     {
+        let jobs = self.inner.slice.len().div_ceil(self.inner.chunk_size);
+        let workers = worker_count(jobs);
+        if workers <= 1 {
+            // Serial machines skip the chunk staging entirely — no
+            // intermediate Vec, just the plain chunk iterator.
+            for item in self
+                .inner
+                .slice
+                .chunks_mut(self.inner.chunk_size)
+                .enumerate()
+            {
+                f(item);
+            }
+            return;
+        }
         let chunks: Vec<(usize, &mut [T])> = self
             .inner
             .slice
             .chunks_mut(self.inner.chunk_size)
             .enumerate()
             .collect();
-        let workers = worker_count(chunks.len());
-        if workers <= 1 {
-            for item in chunks {
-                f(item);
-            }
-            return;
-        }
         let mut groups: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, item) in chunks.into_iter().enumerate() {
             groups[i % workers].push(item);
